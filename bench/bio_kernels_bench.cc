@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the native bioinformatics
+ * kernels (the oracles behind the simulated experiments): pairwise
+ * alignment, Plan7 Viterbi, and the BLAST pipeline stages.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bio/align.h"
+#include "bio/blast.h"
+#include "bio/clustal.h"
+#include "bio/generator.h"
+#include "bio/hmm.h"
+
+using namespace bp5::bio;
+
+namespace {
+
+const SubstitutionMatrix &kM = SubstitutionMatrix::blosum62();
+const GapPenalty kGap{10, 1};
+
+Sequence
+makeSeq(size_t len, uint64_t seed)
+{
+    SequenceGenerator g(seed);
+    return g.random(len, "s");
+}
+
+void
+BM_SmithWatermanScore(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Sequence a = makeSeq(n, 1), b = makeSeq(n, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(swScore(a, b, kM, kGap));
+    state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n) *
+                            int64_t(n));
+}
+BENCHMARK(BM_SmithWatermanScore)->Arg(100)->Arg(300)->Arg(600);
+
+void
+BM_NeedlemanWunschScore(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Sequence a = makeSeq(n, 3), b = makeSeq(n, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nwScore(a, b, kM, kGap));
+    state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n) *
+                            int64_t(n));
+}
+BENCHMARK(BM_NeedlemanWunschScore)->Arg(100)->Arg(300)->Arg(600);
+
+void
+BM_SmithWatermanTraceback(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    SequenceGenerator g(5);
+    Sequence a = g.random(n, "a");
+    Sequence b = g.mutate(a, MutationModel{0.2, 0.03, 0.03}, "b");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(swAlign(a, b, kM, kGap).score);
+}
+BENCHMARK(BM_SmithWatermanTraceback)->Arg(100)->Arg(300);
+
+void
+BM_Plan7Viterbi(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    SequenceGenerator g(7);
+    auto fam = g.family(6, n, MutationModel{0.15, 0.02, 0.02});
+    Plan7Model model = Plan7Model::fromFamily(fam);
+    Sequence q = fam[0];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.viterbi(q));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(model.length()) * int64_t(q.size()));
+}
+BENCHMARK(BM_Plan7Viterbi)->Arg(80)->Arg(160);
+
+void
+BM_Plan7Forward(benchmark::State &state)
+{
+    SequenceGenerator g(9);
+    auto fam = g.family(6, 80, MutationModel{0.15, 0.02, 0.02});
+    Plan7Model model = Plan7Model::fromFamily(fam);
+    Sequence q = fam[0];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.forward(q));
+}
+BENCHMARK(BM_Plan7Forward);
+
+void
+BM_BlastWordIndexBuild(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Sequence q = makeSeq(n, 11);
+    BlastParams p;
+    for (auto _ : state) {
+        WordIndex idx(q, kM, p);
+        benchmark::DoNotOptimize(idx.totalEntries());
+    }
+}
+BENCHMARK(BM_BlastWordIndexBuild)->Arg(100)->Arg(300);
+
+void
+BM_BlastSearchDatabase(benchmark::State &state)
+{
+    SequenceGenerator g(13);
+    Sequence q = g.random(200, "q");
+    auto db = g.database(q, 20, 100, 300, 5,
+                         MutationModel{0.15, 0.02, 0.02});
+    BlastSearch search(q, kM);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(search.search(db).size());
+}
+BENCHMARK(BM_BlastSearchDatabase);
+
+void
+BM_ClustalProgressiveAlign(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    SequenceGenerator g(15);
+    auto fam = g.family(n, 100, MutationModel{0.2, 0.03, 0.03});
+    for (auto _ : state) {
+        Msa msa = progressiveAlign(fam, kM, kGap);
+        benchmark::DoNotOptimize(msa.rows.size());
+    }
+}
+BENCHMARK(BM_ClustalProgressiveAlign)->Arg(4)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Fig 1: the function-wise execution-time breakout of
+ * the four applications (the gprof analysis of section III), using the
+ * native C++ pipelines under the scoped profiler.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace bp5;
+using namespace bp5::bench;
+using namespace bp5::workloads;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+
+    std::printf("=== Fig 1: function-wise breakout (class %c inputs) "
+                "===\n\n",
+                "ABC"[int(opts.klass)]);
+
+    for (int a = 0; a < 4; ++a) {
+        Workload w(opts.workload(kApps[a]));
+        auto prof = w.profileNative();
+
+        TextTable t(std::string(appName(kApps[a])) + ":");
+        t.header({"Function", "Share", "Seconds"});
+        for (const auto &f : prof)
+            t.row({f.name, pct(f.share), num(f.seconds, 4)});
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf("Shape checks (paper Fig 1): Clustalw/Fasta/Hmmer "
+                "spend more than half their time in forward_pass / "
+                "dropgsw / P7Viterbi; Blast's largest consumer is "
+                "SEMI_G_ALIGN.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Fig 3: IPC of the four applications when the max
+ * and isel predicated instructions are inserted by hand and by the
+ * compiler's if-conversion pass, plus the "Combination" build
+ * (hand max + compiler isel).
+ */
+
+#include "bench/bench_util.h"
+
+using namespace bp5;
+using namespace bp5::bench;
+using namespace bp5::workloads;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+
+    std::printf("=== Fig 3: IPC with max and isel instructions "
+                "(class %c inputs) ===\n\n",
+                "ABC"[int(opts.klass)]);
+
+    for (int a = 0; a < 4; ++a) {
+        Workload w(opts.workload(kApps[a]));
+        TextTable t(std::string(appName(kApps[a])) + ":");
+        t.header({"Variant", "IPC", "vs Original", "(paper)",
+                  "isel+max/inst", "cmp/inst"});
+        double baseIpc = 0.0;
+        const PaperFig3Row &p = kPaperFig3[a];
+        for (int v = 0; v < int(mpc::Variant::NUM_VARIANTS); ++v) {
+            mpc::Variant var = static_cast<mpc::Variant>(v);
+            SimResult r = w.simulate(var, sim::MachineConfig());
+            const sim::Counters &c = r.counters;
+            if (var == mpc::Variant::Baseline)
+                baseIpc = c.ipc();
+            double gain = c.ipc() / baseIpc - 1.0;
+            std::string paper = "-";
+            if (var == mpc::Variant::HandIsel && p.handIselPct >= 0)
+                paper = "+" + num(p.handIselPct, 1) + "%";
+            if (var == mpc::Variant::HandMax && p.handMaxPct >= 0)
+                paper = "+" + num(p.handMaxPct, 1) + "%";
+            t.row({mpc::variantName(var), num(c.ipc()),
+                   (gain >= 0 ? "+" : "") + num(gain * 100.0, 1) + "%",
+                   paper, pct(c.predicatedFraction()),
+                   pct(c.compareFraction())});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Shape checks (paper section VI-A):\n"
+        "  - max outperforms isel for hand insertion (isel needs the\n"
+        "    extra cmp: watch the cmp/inst column rise)\n"
+        "  - Clustalw/Hmmer: hand beats the compiler (array-reference\n"
+        "    hammocks block gcc's if-conversion)\n"
+        "  - Blast/Fasta: the compiler beats hand insertion (it finds\n"
+        "    the less obvious hammocks)\n"
+        "  - paper averages: isel +29.8%%, max +34.8%%\n");
+    return 0;
+}

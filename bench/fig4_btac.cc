@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Fig 4: the effect of adding the eight-entry Branch
+ * Target Address Cache — on the original POWER5 and on the
+ * predication-enhanced ("Combination") build — plus the BTAC's own
+ * misprediction rate table.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace bp5;
+using namespace bp5::bench;
+using namespace bp5::workloads;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+
+    std::printf("=== Fig 4: effect of an eight-entry BTAC "
+                "(class %c) ===\n\n",
+                "ABC"[int(opts.klass)]);
+
+    TextTable t;
+    t.header({"Application", "base IPC", "base+BTAC", "gain",
+              "comb IPC", "comb+BTAC", "gain", "BTAC mispred"});
+
+    for (int a = 0; a < 4; ++a) {
+        Workload w(opts.workload(kApps[a]));
+        sim::MachineConfig plain;
+        sim::MachineConfig btac = sim::MachineConfig::power5WithBtac();
+
+        SimResult b0 = w.simulate(mpc::Variant::Baseline, plain);
+        SimResult b1 = w.simulate(mpc::Variant::Baseline, btac);
+        SimResult c0 = w.simulate(mpc::Variant::Combination, plain);
+        SimResult c1 = w.simulate(mpc::Variant::Combination, btac);
+
+        double g0 = b1.counters.ipc() / b0.counters.ipc() - 1.0;
+        double g1 = c1.counters.ipc() / c0.counters.ipc() - 1.0;
+        double mrate =
+            b1.counters.btacPredictions
+                ? double(b1.counters.btacMispredicts) /
+                      double(b1.counters.btacPredictions)
+                : 0.0;
+        t.row({appName(kApps[a]), num(b0.counters.ipc()),
+               num(b1.counters.ipc()),
+               (g0 >= 0 ? "+" : "") + num(g0 * 100.0, 1) + "%",
+               num(c0.counters.ipc()), num(c1.counters.ipc()),
+               (g1 >= 0 ? "+" : "") + num(g1 * 100.0, 1) + "%",
+               pct(mrate)});
+    }
+    t.print();
+
+    std::printf(
+        "\nShape checks (paper section VI-B):\n"
+        "  - paper gains on the original design: +1.8%% to +7.9%%,\n"
+        "    largest for Fasta\n"
+        "  - the BTAC's own misprediction rate is low (paper: 1.4%%\n"
+        "    to 2.5%%), so eight entries suffice\n"
+        "  - gains shrink on predicated code (fewer taken-branch\n"
+        "    bubbles remain to remove)\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: functional
+ * and timing simulation throughput (simulated instructions per second)
+ * on the Smith-Waterman kernel, plus compile time of the mpc pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bio/generator.h"
+#include "kernels/kernels.h"
+
+using namespace bp5;
+using namespace bp5::kernels;
+
+namespace {
+
+struct Fixture
+{
+    bio::Sequence a, b;
+    const bio::SubstitutionMatrix &m = bio::SubstitutionMatrix::blosum62();
+    bio::GapPenalty gap{10, 1};
+
+    Fixture()
+        : a("a", bio::Alphabet::Protein, ""),
+          b("b", bio::Alphabet::Protein, "")
+    {
+        bio::SequenceGenerator g(99);
+        a = g.random(100, "a");
+        b = g.mutate(a, bio::MutationModel{0.3, 0.05, 0.05}, "b");
+    }
+};
+
+const Fixture &
+fx()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_FunctionalSimulation(benchmark::State &state)
+{
+    KernelMachine km(KernelKind::Dropgsw, mpc::Variant::Baseline,
+                     sim::MachineConfig());
+    km.setFunctionalOnly(true);
+    AlignProblem p{&fx().a, &fx().b, &fx().m, fx().gap};
+    uint64_t before = 0;
+    for (auto _ : state) {
+        km.run(p);
+        benchmark::DoNotOptimize(km.totals().instructions);
+    }
+    state.SetItemsProcessed(
+        int64_t(km.totals().instructions - before));
+    state.counters["MIPS"] = benchmark::Counter(
+        double(km.totals().instructions),
+        benchmark::Counter::kIsRate,
+        benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_FunctionalSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingSimulation(benchmark::State &state)
+{
+    KernelMachine km(KernelKind::Dropgsw, mpc::Variant::Baseline,
+                     sim::MachineConfig());
+    AlignProblem p{&fx().a, &fx().b, &fx().m, fx().gap};
+    for (auto _ : state) {
+        km.run(p);
+        benchmark::DoNotOptimize(km.totals().cycles);
+    }
+    state.counters["MIPS"] = benchmark::Counter(
+        double(km.totals().instructions),
+        benchmark::Counter::kIsRate,
+        benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingSimulationWithBtac(benchmark::State &state)
+{
+    KernelMachine km(KernelKind::Dropgsw, mpc::Variant::Baseline,
+                     sim::MachineConfig::power5WithBtac());
+    AlignProblem p{&fx().a, &fx().b, &fx().m, fx().gap};
+    for (auto _ : state) {
+        km.run(p);
+        benchmark::DoNotOptimize(km.totals().cycles);
+    }
+}
+BENCHMARK(BM_TimingSimulationWithBtac)->Unit(benchmark::kMillisecond);
+
+void
+BM_KernelCompile(benchmark::State &state)
+{
+    for (auto _ : state) {
+        mpc::Compiled c = compileKernel(
+            static_cast<KernelKind>(state.range(0)),
+            mpc::Variant::CompIsel);
+        benchmark::DoNotOptimize(c.insts.size());
+    }
+}
+BENCHMARK(BM_KernelCompile)->DenseRange(0, 3);
+
+void
+BM_AssembleRoundTrip(benchmark::State &state)
+{
+    mpc::Compiled c =
+        compileKernel(KernelKind::Dropgsw, mpc::Variant::Baseline);
+    for (auto _ : state) {
+        masm::Program p = c.program(0x10000);
+        benchmark::DoNotOptimize(p.image.size());
+    }
+}
+BENCHMARK(BM_AssembleRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * blastp-style database search: neighbourhood word index, two-hit
+ * seeding, x-drop ungapped extension and gapped SEMI_G_ALIGN-style
+ * extension, with e-value-ranked HSP output.
+ */
+
+#include <cstdio>
+
+#include "bio/blast.h"
+#include "bio/generator.h"
+
+using namespace bp5::bio;
+
+int
+main()
+{
+    SequenceGenerator gen(13);
+    Sequence query = gen.random(180, "query");
+    std::vector<Sequence> db = gen.database(
+        query, 25, 100, 400, 6, MutationModel{0.15, 0.02, 0.02});
+
+    size_t residues = 0;
+    for (const Sequence &s : db)
+        residues += s.size();
+    std::printf("query: %zu residues; database: %zu sequences, %zu "
+                "residues\n\n",
+                query.size(), db.size(), residues);
+
+    BlastParams params;
+    BlastSearch search(query, SubstitutionMatrix::blosum62(), params);
+
+    std::vector<Hsp> hits = search.search(db);
+    std::printf("two-hit seeding triggered %llu ungapped and %llu "
+                "gapped extensions\n\n",
+                static_cast<unsigned long long>(
+                    search.ungappedExtensions),
+                static_cast<unsigned long long>(
+                    search.gappedExtensions));
+
+    std::printf("%-10s %6s %12s  %-17s %s\n", "subject", "score",
+                "e-value", "query range", "subject range");
+    std::printf("%s\n", std::string(64, '-').c_str());
+    for (const Hsp &h : hits) {
+        std::printf("%-10s %6d %12.3g  [%4zu, %4zu)     [%4zu, %4zu)\n",
+                    db[h.seqIndex].name().c_str(), h.score, h.evalue,
+                    h.qStart, h.qEnd, h.sStart, h.sEnd);
+    }
+    if (hits.empty())
+        std::printf("(no HSPs above the reporting threshold)\n");
+
+    std::printf("\nplanted homologs carry the '_hom' suffix: they "
+                "should dominate the top of the list.\n");
+    return 0;
+}

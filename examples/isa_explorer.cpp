@@ -1,0 +1,132 @@
+/**
+ * @file
+ * MiniPOWER ISA tour: assemble a snippet that uses the paper's `max`
+ * and `isel` extensions, disassemble it, execute it functionally, and
+ * compare the timing of the branchy vs predicated forms of the same
+ * max() idiom on the POWER5-class core model (with and without the
+ * eight-entry BTAC).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "isa/disasm.h"
+#include "masm/assembler.h"
+#include "sim/machine.h"
+
+using namespace bp5;
+
+namespace {
+
+sim::RunResult
+runProgram(const std::string &src, const sim::MachineConfig &cfg)
+{
+    sim::Machine m(cfg);
+    masm::Program p = masm::assemble(src, 0x10000);
+    m.loadProgram(p);
+    m.state().pc = p.base;
+    return m.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Assemble and disassemble a snippet with isel and max.
+    const char *snippet =
+        "  li r3, 7\n"
+        "  li r4, 12\n"
+        "  cmpd cr0, r3, r4\n"
+        "  isel r5, r4, r3, 1\n" // r5 = (r3 > r4) ? ... : max via GT
+        "  max r6, r3, r4\n"
+        "  li r0, 0\n"
+        "  mr r3, r6\n"
+        "  sc\n";
+    masm::Program prog = masm::assemble(snippet, 0x10000);
+    std::printf("assembled %zu bytes:\n", prog.size());
+    for (size_t i = 0; i < prog.size() / 4; ++i) {
+        uint32_t word;
+        std::memcpy(&word, prog.image.data() + 4 * i, 4);
+        std::printf("  %06llx: %08x  %s\n",
+                    static_cast<unsigned long long>(prog.base + 4 * i),
+                    word,
+                    isa::disassemble(word, prog.base + 4 * i).c_str());
+    }
+
+    sim::Machine m;
+    m.loadProgram(prog);
+    m.state().pc = prog.base;
+    sim::RunResult r = m.runFunctional();
+    std::printf("\nexecuted: exit code %lld (max(7, 12))\n\n",
+                static_cast<long long>(r.exitCode));
+
+    // 2. The paper's experiment in miniature: a loop accumulating
+    //    sum += max(a, b) of two pseudo-random values.  The branchy
+    //    form mispredicts about half the time (the max statements of
+    //    the DP kernels); the predicated form uses the new maxd.
+    const char *branchy = R"(
+        li r3, 12345        # xorshift state
+        li r4, 20000
+        mtctr r4
+        li r5, 0            # sum
+    loop:
+        sldi r7, r3, 13
+        xor r3, r3, r7
+        srdi r7, r3, 7
+        xor r3, r3, r7
+        andi. r6, r3, 1023  # a
+        srdi r8, r3, 10
+        andi. r8, r8, 1023  # b
+        mr r9, r6
+        cmpd cr0, r9, r8
+        bge skip            # if (a < b) a = b;
+        mr r9, r8
+    skip:
+        add r5, r5, r9
+        bdnz loop
+        mr r3, r5
+        li r0, 0
+        sc
+    )";
+    const char *predicated = R"(
+        li r3, 12345
+        li r4, 20000
+        mtctr r4
+        li r5, 0
+    loop:
+        sldi r7, r3, 13
+        xor r3, r3, r7
+        srdi r7, r3, 7
+        xor r3, r3, r7
+        andi. r6, r3, 1023
+        srdi r8, r3, 10
+        andi. r8, r8, 1023
+        max r9, r6, r8      # the paper's single-cycle max
+        add r5, r5, r9
+        bdnz loop
+        mr r3, r5
+        li r0, 0
+        sc
+    )";
+
+    for (auto [name, src] : {std::pair{"branchy", branchy},
+                             {"predicated", predicated}}) {
+        sim::RunResult base = runProgram(src, sim::MachineConfig());
+        sim::RunResult btac =
+            runProgram(src, sim::MachineConfig::power5WithBtac());
+        std::printf("%-10s: result=%lld  IPC=%.2f  mispredicts=%llu  "
+                    "taken-bubbles=%llu  (+BTAC: IPC=%.2f)\n",
+                    name, static_cast<long long>(base.exitCode),
+                    base.counters.ipc(),
+                    static_cast<unsigned long long>(
+                        base.counters.mispredDirection),
+                    static_cast<unsigned long long>(
+                        base.counters.takenBubbles),
+                    btac.counters.ipc());
+    }
+    std::printf("\nthe predicated loop removes the value-dependent\n"
+                "branch entirely; the BTAC removes the 2-cycle bubble\n"
+                "of the loop's own taken branch.\n");
+    return 0;
+}

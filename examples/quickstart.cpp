@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: align two protein sequences with the native library,
+ * then run the same Smith-Waterman kernel on the simulated POWER5-class
+ * core — baseline vs the paper's `max`-predicated build — and print the
+ * performance counters the paper reports.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "bio/align.h"
+#include "bio/generator.h"
+#include "kernels/kernels.h"
+
+using namespace bp5;
+
+int
+main()
+{
+    // 1. Make a pair of related protein sequences.
+    bio::SequenceGenerator gen(2026);
+    bio::Sequence a = gen.random(120, "query");
+    bio::Sequence b =
+        gen.mutate(a, bio::MutationModel{0.25, 0.04, 0.04}, "subject");
+
+    // 2. Native alignment (the oracle).
+    const bio::SubstitutionMatrix &blosum62 =
+        bio::SubstitutionMatrix::blosum62();
+    bio::GapPenalty gap{10, 1};
+    bio::Alignment aln = bio::swAlign(a, b, blosum62, gap);
+
+    std::printf("Smith-Waterman local alignment (BLOSUM62, gap %d/%d)\n",
+                gap.open, gap.extend);
+    std::printf("  score    : %lld\n",
+                static_cast<long long>(aln.score));
+    std::printf("  identity : %.1f%% over %zu columns\n",
+                100.0 * aln.identity(), aln.length());
+    std::printf("  query    : %s\n", aln.alignedA.c_str());
+    std::printf("  subject  : %s\n\n", aln.alignedB.c_str());
+
+    // 3. Run the same kernel on the simulated POWER5-class machine,
+    //    baseline vs hand-inserted max instructions (paper Fig 3).
+    kernels::AlignProblem problem{&a, &b, &blosum62, gap};
+    for (mpc::Variant v :
+         {mpc::Variant::Baseline, mpc::Variant::HandMax}) {
+        kernels::KernelMachine km(kernels::KernelKind::Dropgsw, v,
+                                  sim::MachineConfig());
+        int64_t score = km.run(problem); // validated vs the oracle
+        const sim::Counters &c = km.totals();
+        std::printf("simulated dropgsw [%s]\n", mpc::variantName(v));
+        std::printf("  score %lld (matches native: %s)\n",
+                    static_cast<long long>(score),
+                    score == aln.score ? "yes" : "no");
+        std::printf("  %llu instructions, %llu cycles -> IPC %.2f\n",
+                    static_cast<unsigned long long>(c.instructions),
+                    static_cast<unsigned long long>(c.cycles), c.ipc());
+        std::printf("  branches %.1f%% of instructions, "
+                    "%.1f%% mispredicted\n\n",
+                    100.0 * c.branchFraction(),
+                    100.0 * c.branchMispredictRate());
+    }
+    std::printf("The predicated build eliminates the hard-to-predict\n"
+                "max() branches of the DP recurrence - the paper's\n"
+                "central result.\n");
+    return 0;
+}

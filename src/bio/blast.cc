@@ -1,0 +1,338 @@
+#include "bio/blast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace bp5::bio {
+
+uint32_t
+WordIndex::encodeWord(const Sequence &s, size_t pos, unsigned wordLen,
+                      unsigned alphabet)
+{
+    uint32_t code = 0;
+    for (unsigned k = 0; k < wordLen; ++k)
+        code = code * alphabet + s[pos + k];
+    return code;
+}
+
+WordIndex::WordIndex(const Sequence &query, const SubstitutionMatrix &m,
+                     const BlastParams &params)
+{
+    unsigned K = alphabetSize(query.alphabet());
+    unsigned w = params.wordLen;
+    size_t tableSize = 1;
+    for (unsigned k = 0; k < w; ++k)
+        tableSize *= K;
+    table_.resize(tableSize);
+    if (query.size() < w)
+        return;
+
+    // For each query word, enumerate neighbourhood words scoring at
+    // least T (including the word itself).  Enumeration is a w-deep
+    // product with score-based pruning using per-position maxima.
+    std::vector<int> colMax(w);
+    for (size_t q = 0; q + w <= query.size(); ++q) {
+        for (unsigned k = 0; k < w; ++k) {
+            int best = m.score(query[q + k], 0);
+            for (unsigned x = 1; x < K; ++x)
+                best = std::max(best, m.score(query[q + k], x));
+            colMax[k] = best;
+        }
+        // Suffix maxima for pruning.
+        std::vector<int> suffix(w + 1, 0);
+        for (int k = static_cast<int>(w) - 1; k >= 0; --k)
+            suffix[static_cast<size_t>(k)] =
+                suffix[static_cast<size_t>(k) + 1] +
+                colMax[static_cast<size_t>(k)];
+
+        // Score-pruned enumeration over residue choices.
+        auto enumerate = [&](auto &&self, unsigned depth, int score,
+                             uint32_t code) -> void {
+            if (depth == w) {
+                if (score >= params.neighborThreshold) {
+                    table_[code].push_back(static_cast<uint32_t>(q));
+                    ++entries_;
+                }
+                return;
+            }
+            for (unsigned x = 0; x < K; ++x) {
+                int s = m.score(query[q + depth], x);
+                if (score + s + suffix[depth + 1] <
+                    params.neighborThreshold)
+                    continue;
+                self(self, depth + 1, score + s, code * K + x);
+            }
+        };
+        enumerate(enumerate, 0, 0, 0);
+    }
+}
+
+const std::vector<uint32_t> &
+WordIndex::lookup(uint32_t wordCode) const
+{
+    return table_[wordCode];
+}
+
+int
+semiGappedExtend(const Sequence &a, size_t aFrom, const Sequence &b,
+                 size_t bFrom, bool forward, const SubstitutionMatrix &m,
+                 const BlastParams &p, size_t *aBest, size_t *bBest)
+{
+    // Work in extension coordinates: cell (i, j) means i residues of a
+    // and j residues of b consumed beyond the seed.
+    int64_t alen, blen;
+    if (forward) {
+        alen = static_cast<int64_t>(a.size() - aFrom);
+        blen = static_cast<int64_t>(b.size() - bFrom);
+    } else {
+        alen = static_cast<int64_t>(aFrom);
+        blen = static_cast<int64_t>(bFrom);
+    }
+    auto resA = [&](int64_t i) {
+        return forward ? a[aFrom + static_cast<size_t>(i) - 1]
+                       : a[aFrom - static_cast<size_t>(i)];
+    };
+    auto resB = [&](int64_t j) {
+        return forward ? b[bFrom + static_cast<size_t>(j) - 1]
+                       : b[bFrom - static_cast<size_t>(j)];
+    };
+
+    const int64_t NEG = INT32_MIN / 4;
+    int wg = p.gap.open, ws = p.gap.extend;
+    int xd = p.xDropGapped;
+
+    // Row-at-a-time DP over j with live-window pruning.
+    std::vector<int64_t> V(static_cast<size_t>(blen) + 1, NEG);
+    std::vector<int64_t> F(static_cast<size_t>(blen) + 1, NEG);
+    int64_t best = 0;
+    int64_t bestI = 0, bestJ = 0;
+
+    V[0] = 0;
+    int64_t jLo = 1, jHi = blen; // live window for the next row
+    for (int64_t j = 1; j <= blen; ++j) {
+        V[static_cast<size_t>(j)] = -wg - j * ws;
+        if (V[static_cast<size_t>(j)] < -xd) {
+            jHi = j;
+            break;
+        }
+    }
+
+    for (int64_t i = 1; i <= alen && jLo <= jHi; ++i) {
+        int64_t e = NEG;
+        int64_t vdiag = V[static_cast<size_t>(jLo - 1)];
+        int64_t rowBest = NEG;
+        int64_t newLo = -1, newHi = jLo - 1;
+        // Cell (i, 0): gap in b.
+        if (jLo == 1) {
+            int64_t v0 = -wg - i * ws;
+            if (v0 >= best - xd) {
+                vdiag = V[0];
+                V[0] = v0;
+                rowBest = v0;
+                newLo = 0;
+                newHi = 0;
+            } else {
+                V[0] = NEG;
+            }
+        }
+        for (int64_t j = jLo; j <= std::min<int64_t>(jHi + 1, blen);
+             ++j) {
+            size_t ju = static_cast<size_t>(j);
+            e = std::max(e - ws, V[ju - 1] - wg - ws);
+            F[ju] = std::max(F[ju] - ws, V[ju] - wg - ws);
+            int64_t g = vdiag + m.score(resA(i), resB(j));
+            vdiag = V[ju];
+            int64_t v = std::max(std::max(e, F[ju]), g);
+            if (v < best - xd) {
+                V[ju] = NEG;
+                F[ju] = NEG;
+            } else {
+                V[ju] = v;
+                if (newLo < 0)
+                    newLo = j;
+                newHi = j;
+                if (v > rowBest)
+                    rowBest = v;
+                if (v > best) {
+                    best = v;
+                    bestI = i;
+                    bestJ = j;
+                }
+            }
+        }
+        if (newLo < 0)
+            break; // row died: extension ends
+        jLo = std::max<int64_t>(newLo, 1);
+        jHi = newHi;
+    }
+
+    if (aBest)
+        *aBest = static_cast<size_t>(bestI);
+    if (bBest)
+        *bBest = static_cast<size_t>(bestJ);
+    return static_cast<int>(best);
+}
+
+BlastSearch::BlastSearch(const Sequence &query,
+                         const SubstitutionMatrix &m,
+                         const BlastParams &params)
+    : query_(query), m_(m), params_(params), index_(query, m, params)
+{
+    BP5_ASSERT(query.alphabet() == m.alphabet(),
+               "query/matrix alphabet mismatch");
+}
+
+std::vector<Hsp>
+BlastSearch::searchSubject(const Sequence &subject, size_t seqIndex,
+                           size_t dbResidues) const
+{
+    std::vector<Hsp> out;
+    unsigned w = params_.wordLen;
+    if (subject.size() < w || query_.size() < w)
+        return out;
+    unsigned K = alphabetSize(query_.alphabet());
+
+    // Diagonal bookkeeping: diag = s - q + qLen.
+    size_t ndiag = query_.size() + subject.size() + 1;
+    std::vector<int64_t> lastHit(ndiag, -1);
+    std::vector<int64_t> extended(ndiag, -1); // subject pos covered
+
+    for (size_t s = 0; s + w <= subject.size(); ++s) {
+        uint32_t code = WordIndex::encodeWord(subject, s, w, K);
+        for (uint32_t q : index_.lookup(code)) {
+            size_t diag = s - q + query_.size();
+            if (extended[diag] >= static_cast<int64_t>(s)) {
+                continue; // already inside an extension
+            }
+            int64_t prev = lastHit[diag];
+            if (prev >= 0 && static_cast<int64_t>(s) - prev <
+                                 static_cast<int64_t>(w)) {
+                continue; // overlaps the previous hit: ignore it
+            }
+            lastHit[diag] = static_cast<int64_t>(s);
+            if (prev < 0 ||
+                static_cast<int64_t>(s) - prev >
+                    static_cast<int64_t>(params_.twoHitWindow)) {
+                continue; // need a recent second hit on this diagonal
+            }
+
+            // Ungapped x-drop extension around the word.
+            ++ungappedExtensions;
+            int64_t qi = q, si = static_cast<int64_t>(s);
+            int score = 0;
+            for (unsigned k = 0; k < w; ++k)
+                score += m_.score(query_[q + k], subject[s + k]);
+            int bestScore = score;
+            int64_t lo = 0;
+            {
+                int run = score;
+                int64_t i = 1;
+                while (qi - i >= 0 && si - i >= 0) {
+                    run += m_.score(query_[static_cast<size_t>(qi - i)],
+                                    subject[static_cast<size_t>(si - i)]);
+                    if (run > bestScore) {
+                        bestScore = run;
+                        lo = i;
+                    }
+                    if (run < bestScore - params_.xDropUngapped)
+                        break;
+                    ++i;
+                }
+            }
+            int64_t hi = w - 1;
+            {
+                int run = bestScore;
+                int64_t i = static_cast<int64_t>(w);
+                while (q + static_cast<size_t>(i) < query_.size() &&
+                       s + static_cast<size_t>(i) < subject.size()) {
+                    run += m_.score(query_[q + static_cast<size_t>(i)],
+                                    subject[s + static_cast<size_t>(i)]);
+                    if (run > bestScore) {
+                        bestScore = run;
+                        hi = i;
+                    }
+                    if (run < bestScore - params_.xDropUngapped)
+                        break;
+                    ++i;
+                }
+            }
+            if (bestScore < params_.ungappedTrigger)
+                continue;
+
+            // Gapped extension in both directions (SEMI_G_ALIGN).
+            ++gappedExtensions;
+            size_t qSeedL = q - static_cast<size_t>(lo);
+            size_t sSeedL = s - static_cast<size_t>(lo);
+            size_t qSeedR = q + static_cast<size_t>(hi) + 1;
+            size_t sSeedR = s + static_cast<size_t>(hi) + 1;
+            int segScore = 0;
+            for (size_t k = qSeedL, k2 = sSeedL; k < qSeedR; ++k, ++k2)
+                segScore += m_.score(query_[k], subject[k2]);
+
+            size_t la = 0, lb = 0, ra = 0, rb = 0;
+            int left = semiGappedExtend(query_, qSeedL, subject, sSeedL,
+                                        false, m_, params_, &la, &lb);
+            int right = semiGappedExtend(query_, qSeedR, subject,
+                                         sSeedR, true, m_, params_, &ra,
+                                         &rb);
+            int total = segScore + left + right;
+            if (total < params_.minReportScore)
+                continue;
+
+            Hsp h;
+            h.seqIndex = seqIndex;
+            h.qStart = qSeedL - la;
+            h.sStart = sSeedL - lb;
+            h.qEnd = qSeedR + ra;
+            h.sEnd = sSeedR + rb;
+            h.score = total;
+            h.evalue = params_.kParam * double(query_.size()) *
+                       double(dbResidues) *
+                       std::exp(-params_.lambda * total);
+            out.push_back(h);
+            extended[diag] = static_cast<int64_t>(h.sEnd);
+        }
+    }
+
+    // Keep the best HSP per overlapping region (simple dominance).
+    std::sort(out.begin(), out.end(), [](const Hsp &a, const Hsp &b) {
+        return a.score > b.score;
+    });
+    std::vector<Hsp> kept;
+    for (const Hsp &h : out) {
+        bool dominated = false;
+        for (const Hsp &k : kept) {
+            bool overlapQ = h.qStart < k.qEnd && k.qStart < h.qEnd;
+            bool overlapS = h.sStart < k.sEnd && k.sStart < h.sEnd;
+            if (overlapQ && overlapS) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            kept.push_back(h);
+    }
+    return kept;
+}
+
+std::vector<Hsp>
+BlastSearch::search(const std::vector<Sequence> &db) const
+{
+    size_t residues = 0;
+    for (const Sequence &s : db)
+        residues += s.size();
+    std::vector<Hsp> all;
+    for (size_t i = 0; i < db.size(); ++i) {
+        std::vector<Hsp> hs = searchSubject(db[i], i, residues);
+        all.insert(all.end(), hs.begin(), hs.end());
+    }
+    std::sort(all.begin(), all.end(), [](const Hsp &a, const Hsp &b) {
+        return a.evalue < b.evalue ||
+               (a.evalue == b.evalue && a.seqIndex < b.seqIndex);
+    });
+    return all;
+}
+
+} // namespace bp5::bio

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * BLAST-style protein database search (the blastp pipeline of paper
+ * section II): neighbourhood word index, two-hit diagonal seeding,
+ * x-drop ungapped extension, and gapped extension by banded-by-x-drop
+ * dynamic programming in both directions from the seed — the
+ * SEMI_G_ALIGN kernel the paper profiles.
+ */
+
+#ifndef BIOPERF5_BIO_BLAST_H
+#define BIOPERF5_BIO_BLAST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/scoring.h"
+#include "bio/sequence.h"
+
+namespace bp5::bio {
+
+/** Search parameters (BLOSUM62/blastp-like defaults). */
+struct BlastParams
+{
+    unsigned wordLen = 3;        ///< protein word size
+    int neighborThreshold = 11;  ///< word-pair score threshold T
+    unsigned twoHitWindow = 40;  ///< diagonal window A
+    int xDropUngapped = 16;      ///< ungapped extension x-drop
+    int ungappedTrigger = 20;    ///< score gating gapped extension
+    int xDropGapped = 30;        ///< gapped extension x-drop
+    GapPenalty gap{10, 1};
+    int minReportScore = 35;     ///< HSP reporting cutoff
+    double lambda = 0.267;       ///< Karlin-Altschul (gapped BLOSUM62)
+    double kParam = 0.041;
+};
+
+/** A high-scoring segment pair. */
+struct Hsp
+{
+    size_t seqIndex = 0; ///< database sequence
+    size_t qStart = 0, qEnd = 0; ///< query range [start, end)
+    size_t sStart = 0, sEnd = 0; ///< subject range
+    int score = 0;
+    double evalue = 0.0;
+};
+
+/** Word index over the query's w-mer neighbourhood. */
+class WordIndex
+{
+  public:
+    WordIndex(const Sequence &query, const SubstitutionMatrix &m,
+              const BlastParams &params);
+
+    /** Query positions whose neighbourhood contains @p wordCode. */
+    const std::vector<uint32_t> &lookup(uint32_t wordCode) const;
+
+    /** Encode the w-mer starting at @p pos of @p s. */
+    static uint32_t encodeWord(const Sequence &s, size_t pos,
+                               unsigned wordLen, unsigned alphabet);
+
+    size_t totalEntries() const { return entries_; }
+
+  private:
+    std::vector<std::vector<uint32_t>> table_;
+    size_t entries_ = 0;
+};
+
+/**
+ * Gapped extension from a seed cell, one direction (the SEMI_G_ALIGN
+ * analogue): affine DP where rows are pruned by the x-drop rule.
+ * @param a,b sequences; extension proceeds from (aFrom, bFrom)
+ *        forward when @p forward, else backward
+ * @return the best extension score (>= 0).
+ */
+int semiGappedExtend(const Sequence &a, size_t aFrom, const Sequence &b,
+                     size_t bFrom, bool forward,
+                     const SubstitutionMatrix &m, const BlastParams &p,
+                     size_t *aBest = nullptr, size_t *bBest = nullptr);
+
+/** The full blastp-style search of @p query against @p db. */
+class BlastSearch
+{
+  public:
+    BlastSearch(const Sequence &query, const SubstitutionMatrix &m,
+                const BlastParams &params = BlastParams());
+
+    /** Search one subject; HSPs above the reporting cutoff. */
+    std::vector<Hsp> searchSubject(const Sequence &subject,
+                                   size_t seqIndex,
+                                   size_t dbResidues) const;
+
+    /** Search a database; all HSPs sorted by increasing e-value. */
+    std::vector<Hsp> search(const std::vector<Sequence> &db) const;
+
+    /** Number of gapped extensions triggered so far (statistics). */
+    mutable uint64_t gappedExtensions = 0;
+    mutable uint64_t ungappedExtensions = 0;
+
+  private:
+    const Sequence &query_;
+    const SubstitutionMatrix &m_;
+    BlastParams params_;
+    WordIndex index_;
+};
+
+} // namespace bp5::bio
+
+#endif // BIOPERF5_BIO_BLAST_H

@@ -1,0 +1,88 @@
+#include "bio/fasta.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace bp5::bio {
+
+std::vector<Sequence>
+parseFasta(const std::string &text, Alphabet alphabet)
+{
+    std::vector<Sequence> out;
+    std::istringstream in(text);
+    std::string line;
+    std::string name;
+    std::string residues;
+    bool have = false;
+
+    auto flush = [&]() {
+        if (have)
+            out.emplace_back(name, alphabet, residues);
+        residues.clear();
+    };
+
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            have = true;
+            // Name is the first token of the header.
+            size_t sp = line.find_first_of(" \t", 1);
+            name = line.substr(1, sp == std::string::npos
+                                      ? std::string::npos
+                                      : sp - 1);
+            if (name.empty())
+                name = "unnamed";
+        } else {
+            if (!have)
+                fatal("FASTA: residue data before any '>' header");
+            residues += line;
+        }
+    }
+    flush();
+    return out;
+}
+
+std::vector<Sequence>
+readFastaFile(const std::string &path, Alphabet alphabet)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open FASTA file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parseFasta(ss.str(), alphabet);
+}
+
+std::string
+formatFasta(const std::vector<Sequence> &seqs, unsigned width)
+{
+    BP5_ASSERT(width > 0, "zero FASTA line width");
+    std::string out;
+    for (const Sequence &s : seqs) {
+        out += ">" + s.name() + "\n";
+        std::string letters = s.letters();
+        for (size_t i = 0; i < letters.size(); i += width) {
+            out += letters.substr(i, width);
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+void
+writeFastaFile(const std::string &path, const std::vector<Sequence> &seqs,
+               unsigned width)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot write FASTA file '%s'", path.c_str());
+    f << formatFasta(seqs, width);
+}
+
+} // namespace bp5::bio

@@ -1,0 +1,110 @@
+#include "bio/generator.h"
+
+#include "support/logging.h"
+
+namespace bp5::bio {
+
+namespace {
+
+// Approximate natural amino-acid frequencies (Swiss-Prot composition),
+// in the matrix residue order A R N D C Q E G H I L K M F P S T W Y V.
+constexpr double kProteinComposition[20] = {
+    8.3, 5.5, 4.0, 5.5, 1.4, 3.9, 6.7, 7.1, 2.3, 5.9,
+    9.7, 5.8, 2.4, 3.9, 4.7, 6.6, 5.4, 1.1, 2.9, 6.9,
+};
+
+} // namespace
+
+SequenceGenerator::SequenceGenerator(uint64_t seed, Alphabet alphabet)
+    : rng_(seed), alphabet_(alphabet)
+{
+    if (alphabet_ == Alphabet::Protein) {
+        composition_.assign(kProteinComposition,
+                            kProteinComposition + 20);
+    } else {
+        composition_.assign(4, 1.0);
+    }
+}
+
+uint8_t
+SequenceGenerator::randomResidue()
+{
+    return static_cast<uint8_t>(rng_.weighted(composition_));
+}
+
+Sequence
+SequenceGenerator::random(size_t length, const std::string &name)
+{
+    std::vector<uint8_t> codes;
+    codes.reserve(length);
+    for (size_t i = 0; i < length; ++i)
+        codes.push_back(randomResidue());
+    return Sequence(name, alphabet_, std::move(codes));
+}
+
+Sequence
+SequenceGenerator::mutate(const Sequence &src, const MutationModel &model,
+                          const std::string &name)
+{
+    std::vector<uint8_t> codes;
+    codes.reserve(src.size() + 8);
+    for (size_t i = 0; i < src.size(); ++i) {
+        if (rng_.chance(model.deletion))
+            continue;
+        if (rng_.chance(model.insertion))
+            codes.push_back(randomResidue());
+        if (rng_.chance(model.substitution))
+            codes.push_back(randomResidue());
+        else
+            codes.push_back(src[i]);
+    }
+    if (codes.empty())
+        codes.push_back(randomResidue());
+    return Sequence(name, alphabet_, std::move(codes));
+}
+
+std::vector<Sequence>
+SequenceGenerator::family(size_t count, size_t length,
+                          const MutationModel &model,
+                          const std::string &prefix)
+{
+    BP5_ASSERT(count > 0 && length > 0, "empty family requested");
+    Sequence ancestor = random(length, prefix + "_ancestor");
+    std::vector<Sequence> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        out.push_back(
+            mutate(ancestor, model, prefix + std::to_string(i)));
+    }
+    return out;
+}
+
+std::vector<Sequence>
+SequenceGenerator::database(const Sequence &query, size_t count,
+                            size_t minLen, size_t maxLen, size_t homologs,
+                            const MutationModel &model)
+{
+    BP5_ASSERT(minLen > 0 && minLen <= maxLen, "bad length range");
+    BP5_ASSERT(homologs <= count, "more homologs than sequences");
+    std::vector<Sequence> db;
+    db.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        std::string name = "db" + std::to_string(i);
+        if (i < homologs) {
+            db.push_back(mutate(query, model, name + "_hom"));
+        } else {
+            size_t len = static_cast<size_t>(
+                rng_.range(static_cast<int64_t>(minLen),
+                           static_cast<int64_t>(maxLen)));
+            db.push_back(random(len, name));
+        }
+    }
+    // Shuffle so homologs are not all at the front.
+    for (size_t i = db.size(); i > 1; --i) {
+        size_t j = rng_.below(i);
+        std::swap(db[i - 1], db[j]);
+    }
+    return db;
+}
+
+} // namespace bp5::bio

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic synthetic sequence generation.  BioPerf's class-A/B/C
+ * inputs (and the Swiss-Prot slices they are drawn from) are not
+ * redistributable, so workloads are generated: random sequences with
+ * realistic residue composition, mutated homolog families, and
+ * database mixtures with planted homologs (so searches find real
+ * alignments and the DP kernels see realistic score distributions).
+ */
+
+#ifndef BIOPERF5_BIO_GENERATOR_H
+#define BIOPERF5_BIO_GENERATOR_H
+
+#include <vector>
+
+#include "bio/sequence.h"
+#include "support/random.h"
+
+namespace bp5::bio {
+
+/** Mutation rates used when deriving homologs from an ancestor. */
+struct MutationModel
+{
+    double substitution = 0.15; ///< per-residue substitution probability
+    double insertion = 0.02;    ///< per-position insertion probability
+    double deletion = 0.02;     ///< per-position deletion probability
+};
+
+/** Synthetic sequence factory (fully deterministic from its Rng). */
+class SequenceGenerator
+{
+  public:
+    explicit SequenceGenerator(uint64_t seed,
+                               Alphabet alphabet = Alphabet::Protein);
+
+    /** One random sequence of @p length with natural composition. */
+    Sequence random(size_t length, const std::string &name);
+
+    /** Mutate @p src according to @p model. */
+    Sequence mutate(const Sequence &src, const MutationModel &model,
+                    const std::string &name);
+
+    /**
+     * A homologous family: an unnamed random ancestor of @p length and
+     * @p count descendants mutated from it.
+     */
+    std::vector<Sequence> family(size_t count, size_t length,
+                                 const MutationModel &model,
+                                 const std::string &prefix = "seq");
+
+    /**
+     * A search database of @p count sequences with lengths uniform in
+     * [minLen, maxLen].  @p homologs of them are mutated copies of
+     * @p query (planted hits).
+     */
+    std::vector<Sequence> database(const Sequence &query, size_t count,
+                                   size_t minLen, size_t maxLen,
+                                   size_t homologs,
+                                   const MutationModel &model);
+
+    Rng &rng() { return rng_; }
+
+  private:
+    uint8_t randomResidue();
+
+    Rng rng_;
+    Alphabet alphabet_;
+    std::vector<double> composition_;
+};
+
+} // namespace bp5::bio
+
+#endif // BIOPERF5_BIO_GENERATOR_H

@@ -1,0 +1,294 @@
+#include "bio/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bio/clustal.h"
+#include "support/logging.h"
+
+namespace bp5::bio {
+
+namespace {
+
+/** Scaled log2-odds of probability @p p against background @p bg. */
+int32_t
+logOdds(double p, double bg)
+{
+    if (p <= 0.0)
+        return Plan7Model::kNegInf;
+    return static_cast<int32_t>(
+        std::lround(Plan7Model::kScale * std::log2(p / bg)));
+}
+
+/** Scaled log2 of a probability. */
+int32_t
+logProb(double p)
+{
+    if (p <= 0.0)
+        return Plan7Model::kNegInf;
+    return static_cast<int32_t>(
+        std::lround(Plan7Model::kScale * std::log2(p)));
+}
+
+int32_t
+vmax(int32_t a, int32_t b)
+{
+    return a > b ? a : b;
+}
+
+/** Saturating add that keeps -inf absorbing. */
+int32_t
+sadd(int32_t a, int32_t b)
+{
+    if (a <= Plan7Model::kNegInf || b <= Plan7Model::kNegInf)
+        return Plan7Model::kNegInf;
+    return a + b;
+}
+
+} // namespace
+
+Plan7Model
+Plan7Model::fromAlignment(const std::vector<std::string> &rows,
+                          Alphabet alphabet)
+{
+    BP5_ASSERT(!rows.empty(), "empty alignment");
+    size_t ncols = rows[0].size();
+    for (const std::string &r : rows) {
+        BP5_ASSERT(r.size() == ncols, "ragged alignment rows");
+    }
+    size_t nseq = rows.size();
+    unsigned K = alphabetSize(alphabet);
+
+    // 1. Match-column assignment (>= 50% residue occupancy).
+    std::vector<bool> isMatch(ncols, false);
+    unsigned M = 0;
+    for (size_t c = 0; c < ncols; ++c) {
+        size_t occ = 0;
+        for (const std::string &r : rows)
+            occ += r[c] != '-';
+        if (occ * 2 >= nseq) {
+            isMatch[c] = true;
+            ++M;
+        }
+    }
+    BP5_ASSERT(M > 0, "alignment has no match columns");
+
+    Plan7Model model;
+    model.alphabet_ = alphabet;
+    model.m_ = M;
+
+    // 2. Emission counts with Laplace pseudocounts.
+    std::vector<double> emit((M + 1) * K, 1.0);
+    {
+        unsigned j = 0;
+        for (size_t c = 0; c < ncols; ++c) {
+            if (!isMatch[c])
+                continue;
+            ++j;
+            for (const std::string &r : rows) {
+                if (r[c] == '-')
+                    continue;
+                int code = encodeResidue(alphabet, r[c]);
+                if (code >= 0)
+                    emit[j * K + static_cast<unsigned>(code)] += 1.0;
+            }
+        }
+    }
+
+    // 3. Transition counts from per-row state paths.
+    enum S { SM, SI, SD };
+    // counts[j][from][to] with from/to in {M,I,D}; j = source node.
+    std::vector<std::array<std::array<double, 3>, 3>> counts(
+        M + 1, {{{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}}});
+    for (const std::string &r : rows) {
+        int prevState = -1;
+        unsigned prevNode = 0;
+        unsigned j = 0;
+        for (size_t c = 0; c < ncols; ++c) {
+            int state;
+            unsigned node;
+            if (isMatch[c]) {
+                ++j;
+                state = r[c] == '-' ? SD : SM;
+                node = j;
+            } else {
+                if (r[c] == '-')
+                    continue; // gap in insert column: no state
+                state = SI;
+                node = j;
+            }
+            if (prevState >= 0) {
+                counts[prevNode][static_cast<size_t>(prevState)]
+                      [static_cast<size_t>(state)] += 1.0;
+            }
+            prevState = state;
+            prevNode = node;
+        }
+    }
+
+    // 4. Normalize to scaled log probabilities.
+    double bg = 1.0 / K;
+    model.msc_.assign((M + 1) * K, kNegInf);
+    for (unsigned j = 1; j <= M; ++j) {
+        double tot = 0.0;
+        for (unsigned x = 0; x < K; ++x)
+            tot += emit[j * K + x];
+        for (unsigned x = 0; x < K; ++x) {
+            model.msc_[j * K + x] =
+                logOdds(emit[j * K + x] / tot, bg);
+        }
+    }
+    model.isc_ = 0; // insert emissions at background
+
+    auto normRow = [&](unsigned j, int from, std::vector<int32_t> &tm,
+                       std::vector<int32_t> &ti,
+                       std::vector<int32_t> &td) {
+        double tot = counts[j][static_cast<size_t>(from)][0] +
+                     counts[j][static_cast<size_t>(from)][1] +
+                     counts[j][static_cast<size_t>(from)][2];
+        tm[j] = logProb(counts[j][static_cast<size_t>(from)][0] / tot);
+        ti[j] = logProb(counts[j][static_cast<size_t>(from)][1] / tot);
+        td[j] = logProb(counts[j][static_cast<size_t>(from)][2] / tot);
+    };
+    model.tmm_.assign(M + 1, kNegInf);
+    model.tmi_.assign(M + 1, kNegInf);
+    model.tmd_.assign(M + 1, kNegInf);
+    model.tim_.assign(M + 1, kNegInf);
+    model.tii_.assign(M + 1, kNegInf);
+    model.tdm_.assign(M + 1, kNegInf);
+    model.tdd_.assign(M + 1, kNegInf);
+    std::vector<int32_t> dummy(M + 1);
+    for (unsigned j = 0; j <= M; ++j) {
+        normRow(j, SM, model.tmm_, model.tmi_, model.tmd_);
+        normRow(j, SI, model.tim_, model.tii_, dummy);
+        normRow(j, SD, model.tdm_, dummy, model.tdd_);
+    }
+
+    // 5. Local entry/exit (uniform entry, light exit).
+    model.tbm_.assign(M + 1, kNegInf);
+    model.tme_.assign(M + 1, kNegInf);
+    for (unsigned j = 1; j <= M; ++j) {
+        model.tbm_[j] = logProb(0.5 / M);
+        model.tme_[j] = j == M ? 0 : logProb(0.02);
+    }
+    return model;
+}
+
+Plan7Model
+Plan7Model::fromFamily(const std::vector<Sequence> &family)
+{
+    BP5_ASSERT(!family.empty(), "empty family");
+    Msa msa = progressiveAlign(family, SubstitutionMatrix::blosum62(),
+                               GapPenalty{10, 1});
+    return fromAlignment(msa.rows, family[0].alphabet());
+}
+
+int32_t
+Plan7Model::viterbi(const Sequence &seq) const
+{
+    BP5_ASSERT(seq.alphabet() == alphabet_, "alphabet mismatch");
+    size_t L = seq.size();
+    unsigned M = m_;
+    unsigned K = alphabetSize(alphabet_);
+
+    std::vector<int32_t> mmx(M + 1, kNegInf), imx(M + 1, kNegInf),
+        dmx(M + 1, kNegInf);
+    std::vector<int32_t> pm(M + 1), pi(M + 1), pd(M + 1);
+    int32_t best = kNegInf;
+
+    for (size_t i = 1; i <= L; ++i) {
+        pm = mmx;
+        pi = imx;
+        pd = dmx;
+        unsigned x = seq[i - 1];
+        mmx[0] = imx[0] = dmx[0] = kNegInf;
+        for (unsigned j = 1; j <= M; ++j) {
+            // Match: the P7Viterbi four-way max.
+            int32_t sc = sadd(pm[j - 1], tmm_[j - 1]);
+            sc = vmax(sc, sadd(pi[j - 1], tim_[j - 1]));
+            sc = vmax(sc, sadd(pd[j - 1], tdm_[j - 1]));
+            sc = vmax(sc, tbm_[j]); // B state is free at every i
+            mmx[j] = sadd(sc, msc_[j * K + x]);
+
+            // Insert.
+            int32_t is = vmax(sadd(pm[j], tmi_[j]),
+                              sadd(pi[j], tii_[j]));
+            imx[j] = sadd(is, isc_);
+
+            // Delete.
+            dmx[j] = vmax(sadd(mmx[j - 1], tmd_[j - 1]),
+                          sadd(dmx[j - 1], tdd_[j - 1]));
+
+            // End (free suffix skip).
+            best = vmax(best, sadd(mmx[j], tme_[j]));
+        }
+    }
+    return best;
+}
+
+double
+Plan7Model::forward(const Sequence &seq) const
+{
+    BP5_ASSERT(seq.alphabet() == alphabet_, "alphabet mismatch");
+    size_t L = seq.size();
+    unsigned M = m_;
+    unsigned K = alphabetSize(alphabet_);
+    const double NEG = -1e30;
+
+    auto toLog = [](int32_t s) {
+        return s <= kNegInf ? -1e30 : double(s) / kScale;
+    };
+    auto lse = [&](double a, double b) {
+        if (a < b)
+            std::swap(a, b);
+        if (b <= NEG / 2)
+            return a;
+        return a + std::log2(1.0 + std::exp2(b - a));
+    };
+
+    std::vector<double> fm(M + 1, NEG), fi(M + 1, NEG), fd(M + 1, NEG);
+    std::vector<double> pm(M + 1), pi(M + 1), pd(M + 1);
+    double best = NEG;
+
+    for (size_t i = 1; i <= L; ++i) {
+        pm = fm;
+        pi = fi;
+        pd = fd;
+        unsigned x = seq[i - 1];
+        fm[0] = fi[0] = fd[0] = NEG;
+        for (unsigned j = 1; j <= M; ++j) {
+            double sc = pm[j - 1] + toLog(tmm_[j - 1]);
+            sc = lse(sc, pi[j - 1] + toLog(tim_[j - 1]));
+            sc = lse(sc, pd[j - 1] + toLog(tdm_[j - 1]));
+            sc = lse(sc, toLog(tbm_[j]));
+            fm[j] = sc + toLog(msc_[j * K + x]);
+
+            fi[j] = lse(pm[j] + toLog(tmi_[j]),
+                        pi[j] + toLog(tii_[j])) + toLog(isc_);
+            fd[j] = lse(fm[j - 1] + toLog(tmd_[j - 1]),
+                        fd[j - 1] + toLog(tdd_[j - 1]));
+            best = lse(best, fm[j] + toLog(tme_[j]));
+        }
+    }
+    return best * kScale;
+}
+
+std::vector<HmmHit>
+hmmSearch(const Plan7Model &model, const std::vector<Sequence> &db,
+          int32_t threshold)
+{
+    std::vector<HmmHit> hits;
+    for (size_t i = 0; i < db.size(); ++i) {
+        int32_t s = model.viterbi(db[i]);
+        if (s >= threshold)
+            hits.push_back({i, s});
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const HmmHit &a, const HmmHit &b) {
+                  return a.score > b.score ||
+                         (a.score == b.score && a.seqIndex < b.seqIndex);
+              });
+    return hits;
+}
+
+} // namespace bp5::bio

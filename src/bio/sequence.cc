@@ -1,0 +1,97 @@
+#include "bio/sequence.h"
+
+#include <cctype>
+
+#include "support/logging.h"
+
+namespace bp5::bio {
+
+namespace {
+
+constexpr const char *kDnaLetters = "ACGT";
+// BLOSUM/PAM standard residue order.
+constexpr const char *kProteinLetters = "ARNDCQEGHILKMFPSTWYV";
+
+} // namespace
+
+unsigned
+alphabetSize(Alphabet a)
+{
+    return a == Alphabet::Dna ? 4 : 20;
+}
+
+const char *
+alphabetLetters(Alphabet a)
+{
+    return a == Alphabet::Dna ? kDnaLetters : kProteinLetters;
+}
+
+int
+encodeResidue(Alphabet a, char c)
+{
+    const char *letters = alphabetLetters(a);
+    char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    for (unsigned i = 0; i < alphabetSize(a); ++i) {
+        if (letters[i] == u)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+char
+decodeResidue(Alphabet a, unsigned code)
+{
+    if (code >= alphabetSize(a))
+        return '?';
+    return alphabetLetters(a)[code];
+}
+
+Sequence::Sequence(std::string name, Alphabet alphabet,
+                   const std::string &letters)
+    : name_(std::move(name)), alphabet_(alphabet)
+{
+    codes_.reserve(letters.size());
+    for (char c : letters) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        int code = encodeResidue(alphabet, c);
+        if (code < 0) {
+            fatal("sequence '%s': invalid residue '%c'", name_.c_str(),
+                  c);
+        }
+        codes_.push_back(static_cast<uint8_t>(code));
+    }
+}
+
+Sequence::Sequence(std::string name, Alphabet alphabet,
+                   std::vector<uint8_t> codes)
+    : name_(std::move(name)), alphabet_(alphabet), codes_(std::move(codes))
+{
+    for (uint8_t c : codes_) {
+        BP5_ASSERT(c < alphabetSize(alphabet_),
+                   "residue code %u out of range", c);
+    }
+}
+
+std::string
+Sequence::letters() const
+{
+    std::string s;
+    s.reserve(codes_.size());
+    for (uint8_t c : codes_)
+        s += decodeResidue(alphabet_, c);
+    return s;
+}
+
+Sequence
+Sequence::subseq(size_t pos, size_t len, const std::string &name) const
+{
+    BP5_ASSERT(pos <= codes_.size() && pos + len <= codes_.size(),
+               "subseq out of range");
+    std::vector<uint8_t> sub(codes_.begin() + static_cast<long>(pos),
+                             codes_.begin() + static_cast<long>(pos + len));
+    return Sequence(name.empty() ? name_ + "_sub" : name, alphabet_,
+                    std::move(sub));
+}
+
+} // namespace bp5::bio

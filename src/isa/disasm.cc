@@ -1,0 +1,102 @@
+#include "isa/disasm.h"
+
+#include "isa/encode.h"
+#include "support/logging.h"
+
+namespace bp5::isa {
+
+namespace {
+
+std::string
+branchTarget(const Inst &inst, uint64_t pc)
+{
+    if (inst.aa || pc == 0)
+        return strprintf("0x%llx",
+                         static_cast<unsigned long long>(
+                             inst.aa ? static_cast<uint64_t>(inst.imm)
+                                     : pc + static_cast<int64_t>(inst.imm)));
+    return strprintf("0x%llx",
+                     static_cast<unsigned long long>(
+                         pc + static_cast<int64_t>(inst.imm)));
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst, uint64_t pc)
+{
+    if (!inst.valid())
+        return "<invalid>";
+    const OpInfo &info = inst.info();
+    std::string m(info.mnemonic);
+    if (inst.rc && inst.op != Op::ANDI_RC)
+        m += ".";
+
+    switch (info.format) {
+      case Format::DArith:
+        if (info.isLoad || info.isStore) {
+            return strprintf("%s r%u, %d(r%u)", m.c_str(), inst.rt,
+                             inst.imm, inst.ra);
+        }
+        return strprintf("%s r%u, r%u, %d", m.c_str(), inst.rt, inst.ra,
+                         inst.imm);
+      case Format::DCmp:
+        return strprintf("%s cr%u, %u, r%u, %d", m.c_str(), inst.bf,
+                         inst.l64 ? 1 : 0, inst.ra, inst.imm);
+      case Format::X:
+      case Format::XO:
+        if (!info.readsRB) {
+            return strprintf("%s r%u, r%u", m.c_str(), inst.rt, inst.ra);
+        }
+        return strprintf("%s r%u, r%u, r%u", m.c_str(), inst.rt, inst.ra,
+                         inst.rb);
+      case Format::XShImm:
+        return strprintf("%s r%u, r%u, %u", m.c_str(), inst.rt, inst.ra,
+                         inst.rb);
+      case Format::XCmp:
+        return strprintf("%s cr%u, %u, r%u, r%u", m.c_str(), inst.bf,
+                         inst.l64 ? 1 : 0, inst.ra, inst.rb);
+      case Format::AIsel:
+        return strprintf("%s r%u, r%u, r%u, %u", m.c_str(), inst.rt,
+                         inst.ra, inst.rb, inst.bi);
+      case Format::I:
+        return strprintf("%s%s %s", "b", inst.lk ? "l" : "",
+                         branchTarget(inst, pc).c_str());
+      case Format::BForm:
+        return strprintf("bc%s %u, %u, %s", inst.lk ? "l" : "", inst.bo,
+                         inst.bi, branchTarget(inst, pc).c_str());
+      case Format::XLBranch:
+        if (inst.bo == BO_ALWAYS)
+            return inst.op == Op::BCLR ? "blr" : "bctr";
+        return strprintf("%s%s %u, %u", m.c_str(), inst.lk ? "l" : "",
+                         inst.bo, inst.bi);
+      case Format::XLCr:
+        return strprintf("%s %u, %u, %u", m.c_str(), inst.rt, inst.ra,
+                         inst.rb);
+      case Format::XFX:
+        if (inst.spr == SPR_LR) {
+            return inst.op == Op::MTSPR
+                       ? strprintf("mtlr r%u", inst.rt)
+                       : strprintf("mflr r%u", inst.rt);
+        }
+        if (inst.spr == SPR_CTR) {
+            return inst.op == Op::MTSPR
+                       ? strprintf("mtctr r%u", inst.rt)
+                       : strprintf("mfctr r%u", inst.rt);
+        }
+        return strprintf("%s %u, r%u", m.c_str(), inst.spr, inst.rt);
+      case Format::XMfcr:
+        return strprintf("mfcr r%u", inst.rt);
+      case Format::SCForm:
+        return "sc";
+    }
+    return "<invalid>";
+}
+
+std::string
+disassemble(uint32_t word, uint64_t pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+} // namespace bp5::isa

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * MiniPOWER disassembler: decoded instructions back to assembly text
+ * accepted by the masm assembler.
+ */
+
+#ifndef BIOPERF5_ISA_DISASM_H
+#define BIOPERF5_ISA_DISASM_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/inst.h"
+
+namespace bp5::isa {
+
+/**
+ * Disassemble @p inst.  @p pc (byte address of the instruction) is used
+ * to render relative branch targets as absolute addresses; pass 0 to
+ * render raw offsets.
+ */
+std::string disassemble(const Inst &inst, uint64_t pc = 0);
+
+/** Decode and disassemble an instruction word. */
+std::string disassemble(uint32_t word, uint64_t pc = 0);
+
+} // namespace bp5::isa
+
+#endif // BIOPERF5_ISA_DISASM_H

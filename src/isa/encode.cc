@@ -1,0 +1,337 @@
+#include "isa/encode.h"
+
+#include <unordered_map>
+
+#include "support/bitfield.h"
+#include "support/logging.h"
+
+namespace bp5::isa {
+
+namespace {
+
+constexpr unsigned kIselXo5 = 15;
+
+void
+checkReg(unsigned r)
+{
+    BP5_ASSERT(r < kNumGprs, "register out of range: %u", r);
+}
+
+void
+checkSignedImm(int64_t v, unsigned bits_)
+{
+    int64_t lo = -(1LL << (bits_ - 1));
+    int64_t hi = (1LL << (bits_ - 1)) - 1;
+    BP5_ASSERT(v >= lo && v <= hi, "immediate %lld out of %u-bit range",
+               static_cast<long long>(v), bits_);
+}
+
+void
+checkUnsignedImm(int64_t v, unsigned bits_)
+{
+    BP5_ASSERT(v >= 0 && v <= static_cast<int64_t>(mask(bits_)),
+               "immediate %lld out of unsigned %u-bit range",
+               static_cast<long long>(v), bits_);
+}
+
+// Decode dispatch tables, built once from the opcode metadata.
+struct DecodeTables
+{
+    std::unordered_map<unsigned, Op> primary;
+    std::unordered_map<unsigned, Op> ext31; // keyed by 10-bit xo (XO
+                                            // ops keyed by 9-bit xo)
+    std::unordered_map<unsigned, Op> ext19;
+
+    DecodeTables()
+    {
+        for (unsigned i = 0; i < unsigned(Op::NUM_OPS); ++i) {
+            Op op = static_cast<Op>(i);
+            const OpInfo &info = opInfo(op);
+            switch (info.format) {
+              case Format::DArith:
+              case Format::DCmp:
+              case Format::I:
+              case Format::BForm:
+              case Format::SCForm:
+                BP5_ASSERT(!primary.count(info.primary),
+                           "duplicate primary opcode %u", info.primary);
+                primary[info.primary] = op;
+                break;
+              case Format::AIsel:
+                break; // matched by 5-bit xo
+              case Format::XLBranch:
+              case Format::XLCr:
+                BP5_ASSERT(!ext19.count(info.xo), "dup xo19 %u", info.xo);
+                ext19[info.xo] = op;
+                break;
+              default:
+                BP5_ASSERT(!ext31.count(info.xo), "dup xo31 %u", info.xo);
+                BP5_ASSERT(info.xo % 32 != kIselXo5,
+                           "xo %u shadows isel", info.xo);
+                ext31[info.xo] = op;
+                break;
+            }
+        }
+    }
+};
+
+const DecodeTables &
+tables()
+{
+    static const DecodeTables t;
+    return t;
+}
+
+} // namespace
+
+uint32_t
+encode(const Inst &inst)
+{
+    const OpInfo &info = inst.info();
+    uint32_t w = static_cast<uint32_t>(info.primary) << 26;
+
+    switch (info.format) {
+      case Format::DArith:
+        checkReg(inst.rt);
+        checkReg(inst.ra);
+        if (immIsUnsigned(inst.op))
+            checkUnsignedImm(inst.imm, 16);
+        else
+            checkSignedImm(inst.imm, 16);
+        w |= static_cast<uint32_t>(inst.rt) << 21;
+        w |= static_cast<uint32_t>(inst.ra) << 16;
+        w |= static_cast<uint32_t>(inst.imm) & 0xffff;
+        break;
+
+      case Format::DCmp:
+        checkReg(inst.ra);
+        BP5_ASSERT(inst.bf < kNumCrFields, "bad CR field");
+        if (immIsUnsigned(inst.op))
+            checkUnsignedImm(inst.imm, 16);
+        else
+            checkSignedImm(inst.imm, 16);
+        w |= static_cast<uint32_t>(inst.bf) << 23;
+        w |= static_cast<uint32_t>(inst.l64 ? 1 : 0) << 21;
+        w |= static_cast<uint32_t>(inst.ra) << 16;
+        w |= static_cast<uint32_t>(inst.imm) & 0xffff;
+        break;
+
+      case Format::X:
+      case Format::XO:
+        checkReg(inst.rt);
+        checkReg(inst.ra);
+        checkReg(inst.rb);
+        w |= static_cast<uint32_t>(inst.rt) << 21;
+        w |= static_cast<uint32_t>(inst.ra) << 16;
+        w |= static_cast<uint32_t>(inst.rb) << 11;
+        w |= static_cast<uint32_t>(info.xo) << 1;
+        w |= inst.rc ? 1u : 0u;
+        break;
+
+      case Format::XShImm:
+        // sh is six bits: sh[0..4] in the RB field, sh[5] in bit 0
+        // (the Rc position, unused for immediate shifts) — the same
+        // trick real PowerPC uses for sradi.
+        checkReg(inst.rt);
+        checkReg(inst.ra);
+        BP5_ASSERT(inst.rb < 64, "shift amount out of range");
+        w |= static_cast<uint32_t>(inst.rt) << 21;
+        w |= static_cast<uint32_t>(inst.ra) << 16;
+        w |= static_cast<uint32_t>(inst.rb & 0x1f) << 11;
+        w |= static_cast<uint32_t>(info.xo) << 1;
+        w |= (inst.rb >> 5) & 1;
+        break;
+
+      case Format::XCmp:
+        checkReg(inst.ra);
+        checkReg(inst.rb);
+        BP5_ASSERT(inst.bf < kNumCrFields, "bad CR field");
+        w |= static_cast<uint32_t>(inst.bf) << 23;
+        w |= static_cast<uint32_t>(inst.l64 ? 1 : 0) << 21;
+        w |= static_cast<uint32_t>(inst.ra) << 16;
+        w |= static_cast<uint32_t>(inst.rb) << 11;
+        w |= static_cast<uint32_t>(info.xo) << 1;
+        break;
+
+      case Format::AIsel:
+        checkReg(inst.rt);
+        checkReg(inst.ra);
+        checkReg(inst.rb);
+        BP5_ASSERT(inst.bi < kNumCrBits, "bad CR bit");
+        w |= static_cast<uint32_t>(inst.rt) << 21;
+        w |= static_cast<uint32_t>(inst.ra) << 16;
+        w |= static_cast<uint32_t>(inst.rb) << 11;
+        w |= static_cast<uint32_t>(inst.bi) << 6;
+        w |= kIselXo5 << 1;
+        break;
+
+      case Format::I:
+        BP5_ASSERT((inst.imm & 3) == 0, "unaligned branch offset");
+        checkSignedImm(inst.imm >> 2, 24);
+        w |= (static_cast<uint32_t>(inst.imm >> 2) & 0xffffff) << 2;
+        w |= inst.aa ? 2u : 0u;
+        w |= inst.lk ? 1u : 0u;
+        break;
+
+      case Format::BForm:
+        BP5_ASSERT((inst.imm & 3) == 0, "unaligned branch offset");
+        checkSignedImm(inst.imm >> 2, 14);
+        BP5_ASSERT(inst.bi < kNumCrBits, "bad CR bit");
+        w |= static_cast<uint32_t>(inst.bo) << 21;
+        w |= static_cast<uint32_t>(inst.bi) << 16;
+        w |= (static_cast<uint32_t>(inst.imm >> 2) & 0x3fff) << 2;
+        w |= inst.aa ? 2u : 0u;
+        w |= inst.lk ? 1u : 0u;
+        break;
+
+      case Format::XLBranch:
+        w |= static_cast<uint32_t>(inst.bo) << 21;
+        w |= static_cast<uint32_t>(inst.bi) << 16;
+        w |= static_cast<uint32_t>(info.xo) << 1;
+        w |= inst.lk ? 1u : 0u;
+        break;
+
+      case Format::XLCr:
+        BP5_ASSERT(inst.rt < kNumCrBits && inst.ra < kNumCrBits &&
+                   inst.rb < kNumCrBits, "bad CR bit");
+        w |= static_cast<uint32_t>(inst.rt) << 21;
+        w |= static_cast<uint32_t>(inst.ra) << 16;
+        w |= static_cast<uint32_t>(inst.rb) << 11;
+        w |= static_cast<uint32_t>(info.xo) << 1;
+        break;
+
+      case Format::XFX:
+        checkReg(inst.rt);
+        BP5_ASSERT(inst.spr < 1024, "bad SPR id");
+        w |= static_cast<uint32_t>(inst.rt) << 21;
+        w |= static_cast<uint32_t>(inst.spr) << 11;
+        w |= static_cast<uint32_t>(info.xo) << 1;
+        break;
+
+      case Format::XMfcr:
+        checkReg(inst.rt);
+        w |= static_cast<uint32_t>(inst.rt) << 21;
+        w |= static_cast<uint32_t>(info.xo) << 1;
+        break;
+
+      case Format::SCForm:
+        w |= 2u; // PowerPC sets bit 1 in sc encodings
+        break;
+    }
+    return w;
+}
+
+Inst
+decode(uint32_t word)
+{
+    const DecodeTables &t = tables();
+    unsigned primary = bits(word, 26, 6);
+    Op op = Op::INVALID;
+
+    if (primary == 31) {
+        if (bits(word, 1, 5) == kIselXo5) {
+            op = Op::ISEL;
+        } else {
+            auto it = t.ext31.find(static_cast<unsigned>(bits(word, 1, 10)));
+            if (it == t.ext31.end()) {
+                // Retry as a 9-bit XO-form opcode (OE in bit 10).
+                it = t.ext31.find(static_cast<unsigned>(bits(word, 1, 9)));
+            }
+            if (it != t.ext31.end())
+                op = it->second;
+        }
+    } else if (primary == 19) {
+        auto it = t.ext19.find(static_cast<unsigned>(bits(word, 1, 10)));
+        if (it != t.ext19.end())
+            op = it->second;
+    } else {
+        auto it = t.primary.find(primary);
+        if (it != t.primary.end())
+            op = it->second;
+    }
+
+    Inst inst;
+    if (op == Op::INVALID)
+        return inst;
+    inst.op = op;
+    const OpInfo &info = opInfo(op);
+
+    switch (info.format) {
+      case Format::DArith:
+        inst.rt = static_cast<uint8_t>(bits(word, 21, 5));
+        inst.ra = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.imm = immIsUnsigned(op)
+                       ? static_cast<int32_t>(bits(word, 0, 16))
+                       : static_cast<int32_t>(sext(word, 16));
+        if (op == Op::ANDI_RC)
+            inst.rc = true;
+        break;
+      case Format::DCmp:
+        inst.bf = static_cast<uint8_t>(bits(word, 23, 3));
+        inst.l64 = bit(word, 21) != 0;
+        inst.ra = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.imm = immIsUnsigned(op)
+                       ? static_cast<int32_t>(bits(word, 0, 16))
+                       : static_cast<int32_t>(sext(word, 16));
+        break;
+      case Format::X:
+      case Format::XO:
+        inst.rt = static_cast<uint8_t>(bits(word, 21, 5));
+        inst.ra = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.rb = static_cast<uint8_t>(bits(word, 11, 5));
+        inst.rc = bit(word, 0) != 0;
+        break;
+      case Format::XShImm:
+        inst.rt = static_cast<uint8_t>(bits(word, 21, 5));
+        inst.ra = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.rb = static_cast<uint8_t>(bits(word, 11, 5) |
+                                       (bit(word, 0) << 5));
+        break;
+      case Format::XCmp:
+        inst.bf = static_cast<uint8_t>(bits(word, 23, 3));
+        inst.l64 = bit(word, 21) != 0;
+        inst.ra = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.rb = static_cast<uint8_t>(bits(word, 11, 5));
+        break;
+      case Format::AIsel:
+        inst.rt = static_cast<uint8_t>(bits(word, 21, 5));
+        inst.ra = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.rb = static_cast<uint8_t>(bits(word, 11, 5));
+        inst.bi = static_cast<uint8_t>(bits(word, 6, 5));
+        break;
+      case Format::I:
+        inst.imm = static_cast<int32_t>(sext(bits(word, 2, 24), 24)) << 2;
+        inst.aa = bit(word, 1) != 0;
+        inst.lk = bit(word, 0) != 0;
+        break;
+      case Format::BForm:
+        inst.bo = static_cast<uint8_t>(bits(word, 21, 5));
+        inst.bi = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.imm = static_cast<int32_t>(sext(bits(word, 2, 14), 14)) << 2;
+        inst.aa = bit(word, 1) != 0;
+        inst.lk = bit(word, 0) != 0;
+        break;
+      case Format::XLBranch:
+        inst.bo = static_cast<uint8_t>(bits(word, 21, 5));
+        inst.bi = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.lk = bit(word, 0) != 0;
+        break;
+      case Format::XLCr:
+        inst.rt = static_cast<uint8_t>(bits(word, 21, 5));
+        inst.ra = static_cast<uint8_t>(bits(word, 16, 5));
+        inst.rb = static_cast<uint8_t>(bits(word, 11, 5));
+        break;
+      case Format::XFX:
+        inst.rt = static_cast<uint8_t>(bits(word, 21, 5));
+        inst.spr = static_cast<uint16_t>(bits(word, 11, 10));
+        break;
+      case Format::XMfcr:
+        inst.rt = static_cast<uint8_t>(bits(word, 21, 5));
+        break;
+      case Format::SCForm:
+        break;
+    }
+    return inst;
+}
+
+} // namespace bp5::isa

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Binary encoder/decoder between decoded instructions and 32-bit
+ * MiniPOWER instruction words.
+ */
+
+#ifndef BIOPERF5_ISA_ENCODE_H
+#define BIOPERF5_ISA_ENCODE_H
+
+#include <cstdint>
+
+#include "isa/inst.h"
+
+namespace bp5::isa {
+
+/**
+ * Encode @p inst into a 32-bit instruction word.  Panics on
+ * out-of-range fields (branch displacement, immediates, registers).
+ */
+uint32_t encode(const Inst &inst);
+
+/**
+ * Decode a 32-bit instruction word.  Returns an Inst with
+ * op == Op::INVALID for unrecognized encodings.
+ */
+Inst decode(uint32_t word);
+
+} // namespace bp5::isa
+
+#endif // BIOPERF5_ISA_ENCODE_H

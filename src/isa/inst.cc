@@ -1,0 +1,145 @@
+#include "isa/inst.h"
+
+namespace bp5::isa {
+
+bool
+raIsBase(Op op)
+{
+    switch (op) {
+      case Op::ADDI:
+      case Op::ADDIS:
+      case Op::LBZ: case Op::LHZ: case Op::LHA: case Op::LWZ:
+      case Op::LWA: case Op::LD:
+      case Op::STB: case Op::STH: case Op::STW: case Op::STD:
+      case Op::LBZX: case Op::LHZX: case Op::LHAX: case Op::LWZX:
+      case Op::LWAX: case Op::LDX:
+      case Op::STBX: case Op::STHX: case Op::STWX: case Op::STDX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+immIsUnsigned(Op op)
+{
+    switch (op) {
+      case Op::ORI: case Op::ORIS: case Op::XORI: case Op::ANDI_RC:
+      case Op::CMPLI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+bool
+boReadsCr(unsigned bo)
+{
+    return bo == BO_COND_TRUE || bo == BO_COND_FALSE;
+}
+
+bool
+boUsesCtr(unsigned bo)
+{
+    return bo == BO_DNZ || bo == BO_DZ;
+}
+
+} // namespace
+
+unsigned
+srcDeps(const Inst &inst, unsigned out[kMaxDeps])
+{
+    const OpInfo &info = inst.info();
+    unsigned n = 0;
+    if (info.readsRA && !(raIsBase(inst.op) && inst.ra == 0))
+        out[n++] = inst.ra;
+    if (info.readsRB)
+        out[n++] = inst.rb;
+    if (info.readsRT)
+        out[n++] = inst.rt;
+
+    switch (inst.op) {
+      case Op::BC:
+        if (boReadsCr(inst.bo))
+            out[n++] = depCrField(inst.bi / 4);
+        if (boUsesCtr(inst.bo))
+            out[n++] = DEP_CTR;
+        break;
+      case Op::BCLR:
+        out[n++] = DEP_LR;
+        if (boReadsCr(inst.bo))
+            out[n++] = depCrField(inst.bi / 4);
+        break;
+      case Op::BCCTR:
+        out[n++] = DEP_CTR;
+        if (boReadsCr(inst.bo))
+            out[n++] = depCrField(inst.bi / 4);
+        break;
+      case Op::ISEL:
+        out[n++] = depCrField(inst.bi / 4);
+        break;
+      case Op::CRAND: case Op::CROR: case Op::CRXOR: case Op::CRNOR:
+        out[n++] = depCrField(inst.ra / 4);
+        if (n < kMaxDeps)
+            out[n++] = depCrField(inst.rb / 4);
+        break;
+      case Op::MFSPR:
+        out[n++] = inst.spr == SPR_LR ? DEP_LR : DEP_CTR;
+        break;
+      case Op::MFCR:
+        // Approximation: depend on CR field 0 only; a full-CR read is
+        // rare and the timing impact is negligible.
+        out[n++] = depCrField(0);
+        break;
+      default:
+        break;
+    }
+    return n;
+}
+
+unsigned
+dstDeps(const Inst &inst, unsigned out[kMaxDeps])
+{
+    const OpInfo &info = inst.info();
+    unsigned n = 0;
+    if (info.writesRT)
+        out[n++] = inst.rt;
+    if (inst.rc)
+        out[n++] = depCrField(0);
+
+    switch (inst.op) {
+      case Op::CMPI: case Op::CMPLI: case Op::CMP: case Op::CMPL:
+        out[n++] = depCrField(inst.bf);
+        break;
+      case Op::ANDI_RC:
+        out[n++] = depCrField(0);
+        break;
+      case Op::CRAND: case Op::CROR: case Op::CRXOR: case Op::CRNOR:
+        out[n++] = depCrField(inst.rt / 4);
+        break;
+      case Op::MTSPR:
+        out[n++] = inst.spr == SPR_LR ? DEP_LR : DEP_CTR;
+        break;
+      case Op::B:
+        if (inst.lk)
+            out[n++] = DEP_LR;
+        break;
+      case Op::BC:
+        if (inst.lk)
+            out[n++] = DEP_LR;
+        if (boUsesCtr(inst.bo))
+            out[n++] = DEP_CTR;
+        break;
+      case Op::BCLR: case Op::BCCTR:
+        if (inst.lk)
+            out[n++] = DEP_LR;
+        break;
+      default:
+        break;
+    }
+    return n;
+}
+
+} // namespace bp5::isa

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Architectural constants of the MiniPOWER ISA: a PowerPC-flavoured
+ * 32-bit-encoded, 64-bit-register subset sufficient to express the
+ * bioinformatics dynamic-programming kernels studied in the paper.
+ *
+ * Encodings follow PowerPC field layouts (primary opcode in the top six
+ * bits, X/XO extended opcodes, B-form branches with BO/BI) but are not
+ * binary compatible with any real PowerPC implementation.  The two ISA
+ * extensions evaluated by the paper are included: the embedded-PowerPC
+ * `isel` instruction and a hypothetical single-cycle `max`/`min` pair
+ * occupying unused extended opcodes (paper section IV-A).
+ */
+
+#ifndef BIOPERF5_ISA_ISA_H
+#define BIOPERF5_ISA_ISA_H
+
+#include <cstdint>
+
+namespace bp5::isa {
+
+/** Number of general-purpose registers. */
+constexpr unsigned kNumGprs = 32;
+
+/** Bits in the condition register. */
+constexpr unsigned kNumCrBits = 32;
+
+/** Number of four-bit condition-register fields. */
+constexpr unsigned kNumCrFields = 8;
+
+/** Bit offsets within a CR field (MiniPOWER uses LSB-first layout). */
+enum CrBit : unsigned
+{
+    CR_LT = 0, ///< negative / less-than
+    CR_GT = 1, ///< positive / greater-than
+    CR_EQ = 2, ///< zero / equal
+    CR_SO = 3, ///< summary overflow (always 0 in MiniPOWER)
+};
+
+/** Bit index within the 32-bit CR for field @p crf, bit @p b. */
+constexpr unsigned
+crBitIndex(unsigned crf, CrBit b)
+{
+    return crf * 4 + b;
+}
+
+/** Special-purpose register identifiers for mtspr/mfspr. */
+enum Spr : unsigned
+{
+    SPR_LR = 8,
+    SPR_CTR = 9,
+};
+
+/**
+ * BO field patterns supported by conditional branches.  These are the
+ * PowerPC encodings for the forms the compiler and assembler emit.
+ */
+enum BranchBo : unsigned
+{
+    BO_ALWAYS = 20,      ///< branch unconditionally
+    BO_COND_TRUE = 12,   ///< branch if CR[BI] == 1
+    BO_COND_FALSE = 4,   ///< branch if CR[BI] == 0
+    BO_DNZ = 16,         ///< decrement CTR, branch if CTR != 0
+    BO_DZ = 18,          ///< decrement CTR, branch if CTR == 0
+};
+
+/**
+ * Syscall function selectors: the value of r0 when `sc` executes.
+ * MiniPOWER programs run bare (no OS); these are simulator services.
+ */
+enum Syscall : uint64_t
+{
+    SYS_EXIT = 0,    ///< halt; r3 = exit code
+    SYS_PUTC = 1,    ///< print the character in r3
+    SYS_PUTINT = 2,  ///< print the signed integer in r3
+    SYS_PUTHEX = 3,  ///< print the value in r3 as hex
+};
+
+/**
+ * Dependency-tracking register-name space used by the timing model.
+ * GPRs occupy [0, 32); CR fields, LR and CTR are mapped above them so a
+ * single "last writer" table covers every architected name.
+ */
+enum DepReg : unsigned
+{
+    DEP_GPR0 = 0,
+    DEP_CRF0 = 32,          ///< CR fields 0..7 -> 32..39
+    DEP_LR = 40,
+    DEP_CTR = 41,
+    kNumDepRegs = 42,
+};
+
+/** Dependency name of CR field @p crf. */
+constexpr unsigned
+depCrField(unsigned crf)
+{
+    return DEP_CRF0 + crf;
+}
+
+} // namespace bp5::isa
+
+#endif // BIOPERF5_ISA_ISA_H

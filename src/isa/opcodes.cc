@@ -1,0 +1,147 @@
+#include "isa/opcodes.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace bp5::isa {
+
+namespace {
+
+// Shorthand for table construction.
+constexpr bool T = true;
+constexpr bool F = false;
+
+// Latencies (execute cycles); L1-hit extra latency for loads lives in
+// the cache model, not here.
+constexpr uint8_t kLatSimple = 1;
+constexpr uint8_t kLatMul = 7;
+constexpr uint8_t kLatDiv = 24;
+constexpr uint8_t kLatLoad = 2;
+constexpr uint8_t kLatSpr = 3;
+
+constexpr std::array<OpInfo, size_t(Op::NUM_OPS)> kOpTable = {{
+    //  op            mnem       format          pri  xo   unit       lat        ld st  br cbr wRT rRA rRB rRT
+    { Op::ADDI,    "addi",    Format::DArith,   14,   0, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::ADDIS,   "addis",   Format::DArith,   15,   0, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::MULLI,   "mulli",   Format::DArith,    7,   0, Unit::FXU, kLatMul,    F, F, F, F, T, T, F, F },
+    { Op::ORI,     "ori",     Format::DArith,   24,   0, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::ORIS,    "oris",    Format::DArith,   25,   0, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::XORI,    "xori",    Format::DArith,   26,   0, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::ANDI_RC, "andi.",   Format::DArith,   28,   0, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::CMPI,    "cmpi",    Format::DCmp,     11,   0, Unit::FXU, kLatSimple, F, F, F, F, F, T, F, F },
+    { Op::CMPLI,   "cmpli",   Format::DCmp,     10,   0, Unit::FXU, kLatSimple, F, F, F, F, F, T, F, F },
+    { Op::LBZ,     "lbz",     Format::DArith,   34,   0, Unit::LSU, kLatLoad,   T, F, F, F, T, T, F, F },
+    { Op::LHZ,     "lhz",     Format::DArith,   40,   0, Unit::LSU, kLatLoad,   T, F, F, F, T, T, F, F },
+    { Op::LHA,     "lha",     Format::DArith,   42,   0, Unit::LSU, kLatLoad,   T, F, F, F, T, T, F, F },
+    { Op::LWZ,     "lwz",     Format::DArith,   32,   0, Unit::LSU, kLatLoad,   T, F, F, F, T, T, F, F },
+    { Op::LWA,     "lwa",     Format::DArith,   56,   0, Unit::LSU, kLatLoad,   T, F, F, F, T, T, F, F },
+    { Op::LD,      "ld",      Format::DArith,   58,   0, Unit::LSU, kLatLoad,   T, F, F, F, T, T, F, F },
+    { Op::STB,     "stb",     Format::DArith,   38,   0, Unit::LSU, kLatSimple, F, T, F, F, F, T, F, T },
+    { Op::STH,     "sth",     Format::DArith,   44,   0, Unit::LSU, kLatSimple, F, T, F, F, F, T, F, T },
+    { Op::STW,     "stw",     Format::DArith,   36,   0, Unit::LSU, kLatSimple, F, T, F, F, F, T, F, T },
+    { Op::STD,     "std",     Format::DArith,   62,   0, Unit::LSU, kLatSimple, F, T, F, F, F, T, F, T },
+    { Op::LBZX,    "lbzx",    Format::X,        31,  87, Unit::LSU, kLatLoad,   T, F, F, F, T, T, T, F },
+    { Op::LHZX,    "lhzx",    Format::X,        31, 279, Unit::LSU, kLatLoad,   T, F, F, F, T, T, T, F },
+    { Op::LHAX,    "lhax",    Format::X,        31, 343, Unit::LSU, kLatLoad,   T, F, F, F, T, T, T, F },
+    { Op::LWZX,    "lwzx",    Format::X,        31,  23, Unit::LSU, kLatLoad,   T, F, F, F, T, T, T, F },
+    { Op::LWAX,    "lwax",    Format::X,        31, 341, Unit::LSU, kLatLoad,   T, F, F, F, T, T, T, F },
+    { Op::LDX,     "ldx",     Format::X,        31,  21, Unit::LSU, kLatLoad,   T, F, F, F, T, T, T, F },
+    { Op::STBX,    "stbx",    Format::X,        31, 215, Unit::LSU, kLatSimple, F, T, F, F, F, T, T, T },
+    { Op::STHX,    "sthx",    Format::X,        31, 407, Unit::LSU, kLatSimple, F, T, F, F, F, T, T, T },
+    { Op::STWX,    "stwx",    Format::X,        31, 151, Unit::LSU, kLatSimple, F, T, F, F, F, T, T, T },
+    { Op::STDX,    "stdx",    Format::X,        31, 149, Unit::LSU, kLatSimple, F, T, F, F, F, T, T, T },
+    { Op::ADD,     "add",     Format::XO,       31, 266, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::SUBF,    "subf",    Format::XO,       31,  40, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::NEG,     "neg",     Format::XO,       31, 104, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::MULLD,   "mulld",   Format::XO,       31, 233, Unit::FXU, kLatMul,    F, F, F, F, T, T, T, F },
+    { Op::DIVD,    "divd",    Format::XO,       31, 489, Unit::FXU, kLatDiv,    F, F, F, F, T, T, T, F },
+    { Op::DIVDU,   "divdu",   Format::XO,       31, 457, Unit::FXU, kLatDiv,    F, F, F, F, T, T, T, F },
+    { Op::AND,     "and",     Format::X,        31,  28, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::ANDC,    "andc",    Format::X,        31,  60, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::OR,      "or",      Format::X,        31, 444, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::ORC,     "orc",     Format::X,        31, 412, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::XOR,     "xor",     Format::X,        31, 316, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::NOR,     "nor",     Format::X,        31, 124, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::NAND,    "nand",    Format::X,        31, 476, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::EQV,     "eqv",     Format::X,        31, 284, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::SLD,     "sld",     Format::X,        31,  27, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::SRD,     "srd",     Format::X,        31, 539, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::SRAD,    "srad",    Format::X,        31, 794, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::SLDI,    "sldi",    Format::XShImm,   31, 1001, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::SRDI,    "srdi",    Format::XShImm,   31, 1002, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::SRADI,   "sradi",   Format::XShImm,   31, 1003, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::EXTSB,   "extsb",   Format::X,        31, 954, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::EXTSH,   "extsh",   Format::X,        31, 922, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::EXTSW,   "extsw",   Format::X,        31, 986, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::CNTLZD,  "cntlzd",  Format::X,        31,  58, Unit::FXU, kLatSimple, F, F, F, F, T, T, F, F },
+    { Op::CMP,     "cmp",     Format::XCmp,     31,   0, Unit::FXU, kLatSimple, F, F, F, F, F, T, T, F },
+    { Op::CMPL,    "cmpl",    Format::XCmp,     31,  32, Unit::FXU, kLatSimple, F, F, F, F, F, T, T, F },
+    { Op::ISEL,    "isel",    Format::AIsel,    31,  15, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::MAXD,    "maxd",    Format::X,        31, 780, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::MIND,    "mind",    Format::X,        31, 782, Unit::FXU, kLatSimple, F, F, F, F, T, T, T, F },
+    { Op::B,       "b",       Format::I,        18,   0, Unit::BRU, kLatSimple, F, F, T, F, F, F, F, F },
+    { Op::BC,      "bc",      Format::BForm,    16,   0, Unit::BRU, kLatSimple, F, F, T, T, F, F, F, F },
+    { Op::BCLR,    "bclr",    Format::XLBranch, 19,  16, Unit::BRU, kLatSimple, F, F, T, T, F, F, F, F },
+    { Op::BCCTR,   "bcctr",   Format::XLBranch, 19, 528, Unit::BRU, kLatSimple, F, F, T, T, F, F, F, F },
+    { Op::CRAND,   "crand",   Format::XLCr,     19, 257, Unit::CRU, kLatSimple, F, F, F, F, F, F, F, F },
+    { Op::CROR,    "cror",    Format::XLCr,     19, 449, Unit::CRU, kLatSimple, F, F, F, F, F, F, F, F },
+    { Op::CRXOR,   "crxor",   Format::XLCr,     19, 193, Unit::CRU, kLatSimple, F, F, F, F, F, F, F, F },
+    { Op::CRNOR,   "crnor",   Format::XLCr,     19,  33, Unit::CRU, kLatSimple, F, F, F, F, F, F, F, F },
+    { Op::MTSPR,   "mtspr",   Format::XFX,      31, 467, Unit::FXU, kLatSpr,    F, F, F, F, F, F, F, T },
+    { Op::MFSPR,   "mfspr",   Format::XFX,      31, 339, Unit::FXU, kLatSpr,    F, F, F, F, T, F, F, F },
+    { Op::MFCR,    "mfcr",    Format::XMfcr,    31,  19, Unit::FXU, kLatSpr,    F, F, F, F, T, F, F, F },
+    { Op::SC,      "sc",      Format::SCForm,   17,   0, Unit::BRU, kLatSimple, F, F, F, F, F, F, F, F },
+}};
+
+struct TableCheck
+{
+    TableCheck()
+    {
+        for (size_t i = 0; i < kOpTable.size(); ++i) {
+            if (kOpTable[i].op != static_cast<Op>(i))
+                panic("opcode table out of order at index %zu", i);
+        }
+    }
+};
+
+const TableCheck kCheck;
+
+const std::unordered_map<std::string_view, Op> &
+mnemonicMap()
+{
+    static const auto *map = [] {
+        auto *m = new std::unordered_map<std::string_view, Op>();
+        for (const auto &info : kOpTable)
+            (*m)[info.mnemonic] = info.op;
+        return m;
+    }();
+    return *map;
+}
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    BP5_ASSERT(op < Op::NUM_OPS, "opInfo(INVALID)");
+    return kOpTable[static_cast<size_t>(op)];
+}
+
+std::string_view
+mnemonic(Op op)
+{
+    if (op >= Op::NUM_OPS)
+        return "<invalid>";
+    return kOpTable[static_cast<size_t>(op)].mnemonic;
+}
+
+Op
+opFromMnemonic(std::string_view name)
+{
+    auto it = mnemonicMap().find(name);
+    return it == mnemonicMap().end() ? Op::INVALID : it->second;
+}
+
+} // namespace bp5::isa

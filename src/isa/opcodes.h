@@ -1,0 +1,118 @@
+/**
+ * @file
+ * MiniPOWER opcode enumeration and static per-opcode metadata: encoding
+ * format, primary/extended opcode values, execution unit, latency and
+ * behavioural flags.  The table in opcodes.cc is the single source of
+ * truth consumed by the encoder, decoder, disassembler, assembler,
+ * functional executor and timing model.
+ */
+
+#ifndef BIOPERF5_ISA_OPCODES_H
+#define BIOPERF5_ISA_OPCODES_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace bp5::isa {
+
+/** All MiniPOWER instructions. */
+enum class Op : uint16_t
+{
+    // D-form immediate arithmetic / logical
+    ADDI, ADDIS, MULLI, ORI, ORIS, XORI, ANDI_RC,
+    // D-form compares (BF, L, RA, SI/UI)
+    CMPI, CMPLI,
+    // D-form loads
+    LBZ, LHZ, LHA, LWZ, LWA, LD,
+    // D-form stores
+    STB, STH, STW, STD,
+    // X-form indexed loads
+    LBZX, LHZX, LHAX, LWZX, LWAX, LDX,
+    // X-form indexed stores
+    STBX, STHX, STWX, STDX,
+    // XO-form arithmetic
+    ADD, SUBF, NEG, MULLD, DIVD, DIVDU,
+    // X-form logical
+    AND, ANDC, OR, ORC, XOR, NOR, NAND, EQV,
+    // X-form shifts (register and immediate-sh variants)
+    SLD, SRD, SRAD, SLDI, SRDI, SRADI,
+    // X-form extension / count
+    EXTSB, EXTSH, EXTSW, CNTLZD,
+    // X-form compares
+    CMP, CMPL,
+    // ISA extensions studied by the paper
+    ISEL, MAXD, MIND,
+    // Branches
+    B, BC, BCLR, BCCTR,
+    // CR logical
+    CRAND, CROR, CRXOR, CRNOR,
+    // Move to/from special registers, read CR
+    MTSPR, MFSPR, MFCR,
+    // System call (simulator services)
+    SC,
+
+    NUM_OPS,
+    INVALID = NUM_OPS,
+};
+
+/** Encoding format of an instruction word. */
+enum class Format : uint8_t
+{
+    DArith,   ///< opcd | RT | RA | SI16        (addi, ori, loads...)
+    DCmp,     ///< opcd | BF//L | RA | SI16     (cmpi, cmpli)
+    X,        ///< 31 | RT | RA | RB | XO10 | Rc
+    XCmp,     ///< 31 | BF//L | RA | RB | XO10
+    XShImm,   ///< 31 | RS | RA | SH5 | XO10 | Rc (sldi/srdi/sradi)
+    XO,       ///< 31 | RT | RA | RB | 0 | XO9 | Rc
+    AIsel,    ///< 31 | RT | RA | RB | BC5 | 15 | 0
+    I,        ///< opcd | LI24 | AA | LK        (b)
+    BForm,    ///< opcd | BO | BI | BD14 | AA | LK (bc)
+    XLBranch, ///< 19 | BO | BI | 0 | XO10 | LK (bclr, bcctr)
+    XLCr,     ///< 19 | BT | BA | BB | XO10 | 0 (crand...)
+    XFX,      ///< 31 | RT | SPR10 | XO10 | 0   (mtspr, mfspr)
+    XMfcr,    ///< 31 | RT | 0 | 0 | XO10 | 0
+    SCForm,   ///< 17 | ... | 1 << 1
+};
+
+/** Functional unit that executes an instruction class. */
+enum class Unit : uint8_t
+{
+    FXU, ///< fixed-point unit (arith, logic, cmp, isel, max)
+    LSU, ///< load/store unit
+    BRU, ///< branch unit
+    CRU, ///< condition-register logical unit
+    NONE,
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    Op op;
+    std::string_view mnemonic;
+    Format format;
+    uint8_t primary;   ///< primary opcode (bits 26..31)
+    uint16_t xo;       ///< extended opcode where the format has one
+    Unit unit;
+    uint8_t latency;   ///< execution latency in cycles (cache adds more)
+    bool isLoad : 1;
+    bool isStore : 1;
+    bool isBranch : 1;
+    bool isCondBranch : 1;
+    bool writesRT : 1; ///< defines GPR[RT]
+    bool readsRA : 1;
+    bool readsRB : 1;
+    bool readsRT : 1;  ///< RT is a source (stores)
+};
+
+/** Metadata for @p op; panics on INVALID. */
+const OpInfo &opInfo(Op op);
+
+/** Mnemonic for @p op ("<invalid>" for INVALID). */
+std::string_view mnemonic(Op op);
+
+/** Look up an opcode by exact mnemonic; INVALID if unknown. */
+Op opFromMnemonic(std::string_view name);
+
+} // namespace bp5::isa
+
+#endif // BIOPERF5_ISA_OPCODES_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The hot dynamic-programming kernels of the paper (Fig 1) — plus
+ * the Sankoff parsimony kernel of the section-VIII extension — as
+ * mpc IR, plus the runtime bridge that executes them on the simulated
+ * POWER5-class machine and validates results against the native bio
+ * library.
+ *
+ * Each kernel has two IR builders:
+ *
+ *  - the *branchy* builder mirrors the applications' C code naively:
+ *    max() statements are cmp+branch hammocks, and some updates go
+ *    through memory exactly as the original sources do (Clustalw's F
+ *    row, HMMER2's imx row).  Hammocks with stores or unprovable loads
+ *    inside are what gcc's if-converter must reject (paper IV-B).
+ *
+ *  - the *hand* builder is the human rewrite: values held in
+ *    registers, max() sites expressed directly as Max/Select IR at
+ *    the sites a programmer identifies by inspection.  For Fasta and
+ *    Blast the hand version deliberately leaves the less obvious
+ *    hammocks (gap-row updates, x-drop bookkeeping) branchy, which is
+ *    why the compiler beats the hand insertion there (paper VI-A).
+ *
+ * Kernel <-> application mapping (paper Fig 1):
+ *   ForwardPass  - Clustalw forward_pass   (global NW, affine gaps)
+ *   Dropgsw      - Fasta ssearch/dropgsw   (local SW, affine gaps)
+ *   P7Viterbi    - Hmmer hmmpfam           (Plan7 Viterbi)
+ *   SemiGAlign   - Blast blastp            (x-drop gapped extension)
+ */
+
+#ifndef BIOPERF5_KERNELS_KERNELS_H
+#define BIOPERF5_KERNELS_KERNELS_H
+
+#include <cstdint>
+
+#include "bio/align.h"
+#include "bio/hmm.h"
+#include "bio/parsimony.h"
+#include "mpc/compiler.h"
+#include "sim/machine.h"
+
+namespace bp5::kernels {
+
+/** The paper's four kernels. */
+enum class KernelKind
+{
+    ForwardPass,
+    Dropgsw,
+    P7Viterbi,
+    SemiGAlign,
+    Sankoff, ///< extension: Phylip-class parsimony (paper section VIII)
+    NUM_KERNELS,
+};
+
+/** Kernel function name as the applications name it. */
+const char *kernelName(KernelKind k);
+
+/** Application that owns the kernel (paper's workload names). */
+const char *kernelApp(KernelKind k);
+
+/**
+ * Build the kernel's IR.
+ * @param hand true for the hand-annotated builder
+ */
+mpc::Function buildKernelIr(KernelKind k, bool hand);
+
+/** Compile kernel @p k in variant @p v (selects the right builder). */
+mpc::Compiled compileKernel(KernelKind k, mpc::Variant v);
+
+// --------------------------------------------------------------------
+// Problems: native-side descriptions of one kernel invocation.
+// --------------------------------------------------------------------
+
+/** Pairwise-alignment invocation (ForwardPass / Dropgsw). */
+struct AlignProblem
+{
+    const bio::Sequence *a = nullptr;
+    const bio::Sequence *b = nullptr;
+    const bio::SubstitutionMatrix *matrix = nullptr;
+    bio::GapPenalty gap{10, 1};
+};
+
+/** P7Viterbi invocation. */
+struct ViterbiProblem
+{
+    const bio::Plan7Model *model = nullptr;
+    const bio::Sequence *seq = nullptr;
+};
+
+/** Semi-gapped x-drop extension invocation (one direction, forward). */
+struct ExtendProblem
+{
+    const bio::Sequence *a = nullptr; ///< query suffix from aFrom
+    size_t aFrom = 0;
+    const bio::Sequence *b = nullptr;
+    size_t bFrom = 0;
+    const bio::SubstitutionMatrix *matrix = nullptr;
+    bio::GapPenalty gap{10, 1};
+    int xdrop = 30;
+};
+
+/**
+ * Sankoff small-parsimony invocation: one site of the Phylip-class
+ * phylogeny workload (the paper's stated extension target).
+ */
+struct SankoffProblem
+{
+    const bio::GuideTree *tree = nullptr;
+    const std::vector<uint8_t> *states = nullptr; ///< leaf states
+    const bio::ParsimonyCost *cost = nullptr;
+};
+
+// --------------------------------------------------------------------
+// Native references that the simulated kernels must match exactly.
+// --------------------------------------------------------------------
+
+/** Reference for ForwardPass: identical to bio::nwScore. */
+int64_t refForwardPass(const AlignProblem &p);
+
+/** Reference for Dropgsw: identical to bio::swScore. */
+int64_t refDropgsw(const AlignProblem &p);
+
+/** Reference for P7Viterbi (plain 64-bit adds, no saturation). */
+int64_t refViterbi(const ViterbiProblem &p);
+
+/**
+ * Reference for SemiGAlign: full-row affine DP with per-cell x-drop
+ * clamping and dead-row termination (the kernel's exact semantics;
+ * see DESIGN.md for the relation to bio::semiGappedExtend).
+ */
+int64_t refSemiGAlign(const ExtendProblem &p);
+
+/** Reference for Sankoff: bio::sankoffSite. */
+int64_t refSankoff(const SankoffProblem &p);
+
+// --------------------------------------------------------------------
+// Simulated execution.
+// --------------------------------------------------------------------
+
+/**
+ * A machine loaded with one compiled kernel.  Successive run() calls
+ * keep branch predictors, BTAC and caches warm (like repeated calls
+ * inside the real application); counters accumulate across calls.
+ */
+class KernelMachine
+{
+  public:
+    KernelMachine(KernelKind kind, mpc::Variant variant,
+                  const sim::MachineConfig &config);
+
+    KernelKind kind() const { return kind_; }
+    mpc::Variant variant() const { return variant_; }
+    const mpc::Compiled &compiled() const { return compiled_; }
+
+    /**
+     * Run one invocation with full timing; checks the result against
+     * the native reference (panics on mismatch — the compiled kernel
+     * would be silently wrong otherwise).
+     * @return the kernel's score
+     */
+    int64_t run(const AlignProblem &p);
+    int64_t run(const ViterbiProblem &p);
+    int64_t run(const ExtendProblem &p);
+    int64_t run(const SankoffProblem &p);
+
+    /** Counters accumulated over all run() calls. */
+    const sim::Counters &totals() const { return totals_; }
+
+    /** Timeline samples (set interval before running; 0 = off). */
+    void setSampleInterval(uint64_t cycles) { interval_ = cycles; }
+    const std::vector<sim::IntervalSample> &timeline() const
+    {
+        return timeline_;
+    }
+
+    /** Run functionally only (fast, no cycle counts). */
+    void setFunctionalOnly(bool f) { functionalOnly_ = f; }
+
+  private:
+    int64_t invoke(const std::vector<uint64_t> &args, int64_t expected);
+
+    KernelKind kind_;
+    mpc::Variant variant_;
+    mpc::Compiled compiled_;
+    sim::Machine machine_;
+    sim::Counters totals_;
+    std::vector<sim::IntervalSample> timeline_;
+    uint64_t interval_ = 0;
+    bool functionalOnly_ = false;
+};
+
+/** Simulated-memory layout constants. */
+constexpr uint64_t kCodeBase = 0x10000;
+constexpr uint64_t kDataBase = 0x200000;
+constexpr uint64_t kStackTop = 0x7f0000;
+
+} // namespace bp5::kernels
+
+#endif // BIOPERF5_KERNELS_KERNELS_H

@@ -1,0 +1,627 @@
+#include "masm/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "isa/encode.h"
+#include "support/logging.h"
+
+namespace bp5::masm {
+
+using isa::Op;
+
+uint64_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+namespace {
+
+/** One parsed statement before fixups. */
+struct Stmt
+{
+    int line = 0;
+    enum Kind { Instr, Data, Space } kind = Instr;
+    isa::Inst inst;
+    std::string target;      ///< branch label ("" if numeric/none)
+    std::vector<uint8_t> data;
+    size_t space = 0;
+    uint64_t addr = 0;       ///< assigned in pass 1
+};
+
+[[noreturn]] void
+err(int line, const std::string &msg)
+{
+    throw AsmError{line, msg};
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Split operand list on commas (parens kept with their token). */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::optional<int64_t>
+parseInt(const std::string &tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    size_t i = 0;
+    bool neg = false;
+    if (tok[0] == '-' || tok[0] == '+') {
+        neg = tok[0] == '-';
+        i = 1;
+    }
+    if (i >= tok.size())
+        return std::nullopt;
+    int base = 10;
+    if (tok.size() > i + 1 && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    }
+    int64_t v = 0;
+    for (; i < tok.size(); ++i) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(tok[i])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return std::nullopt;
+        v = v * base + digit;
+    }
+    return neg ? -v : v;
+}
+
+unsigned
+parseReg(const std::string &tok, int line)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        err(line, "expected register, got '" + tok + "'");
+    auto v = parseInt(tok.substr(1));
+    if (!v || *v < 0 || *v >= 32)
+        err(line, "bad register '" + tok + "'");
+    return static_cast<unsigned>(*v);
+}
+
+unsigned
+parseCrField(const std::string &tok, int line)
+{
+    if (tok.size() < 3 || lower(tok.substr(0, 2)) != "cr")
+        err(line, "expected CR field, got '" + tok + "'");
+    auto v = parseInt(tok.substr(2));
+    if (!v || *v < 0 || *v >= 8)
+        err(line, "bad CR field '" + tok + "'");
+    return static_cast<unsigned>(*v);
+}
+
+int64_t
+parseImm(const std::string &tok, int line)
+{
+    auto v = parseInt(tok);
+    if (!v)
+        err(line, "expected immediate, got '" + tok + "'");
+    return *v;
+}
+
+/** Parse "disp(rN)" into (disp, reg). */
+std::pair<int64_t, unsigned>
+parseMem(const std::string &tok, int line)
+{
+    size_t open = tok.find('(');
+    size_t close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+        err(line, "expected disp(reg), got '" + tok + "'");
+    std::string disp = trim(tok.substr(0, open));
+    std::string reg = trim(tok.substr(open + 1, close - open - 1));
+    int64_t d = disp.empty() ? 0 : parseImm(disp, line);
+    return {d, parseReg(reg, line)};
+}
+
+struct CondAlias
+{
+    unsigned bo;
+    isa::CrBit bit;
+};
+
+std::optional<CondAlias>
+condAlias(const std::string &m)
+{
+    using isa::BO_COND_FALSE;
+    using isa::BO_COND_TRUE;
+    if (m == "beq") return CondAlias{BO_COND_TRUE, isa::CR_EQ};
+    if (m == "bne") return CondAlias{BO_COND_FALSE, isa::CR_EQ};
+    if (m == "blt") return CondAlias{BO_COND_TRUE, isa::CR_LT};
+    if (m == "bge") return CondAlias{BO_COND_FALSE, isa::CR_LT};
+    if (m == "bgt") return CondAlias{BO_COND_TRUE, isa::CR_GT};
+    if (m == "ble") return CondAlias{BO_COND_FALSE, isa::CR_GT};
+    return std::nullopt;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(uint64_t base) : base_(base) {}
+
+    void parseLine(const std::string &raw, int line);
+    Program finish();
+
+  private:
+    void addInst(const isa::Inst &inst, int line,
+                 const std::string &target = "");
+    void parseDirective(const std::string &m,
+                        const std::vector<std::string> &ops, int line);
+    void parseInstr(const std::string &m,
+                    const std::vector<std::string> &ops, int line);
+
+    uint64_t base_;
+    uint64_t pc_ = 0; ///< offset from base
+    std::vector<Stmt> stmts_;
+    std::unordered_map<std::string, uint64_t> symbols_;
+};
+
+void
+Parser::addInst(const isa::Inst &inst, int line, const std::string &target)
+{
+    Stmt s;
+    s.line = line;
+    s.kind = Stmt::Instr;
+    s.inst = inst;
+    s.target = target;
+    s.addr = base_ + pc_;
+    stmts_.push_back(std::move(s));
+    pc_ += 4;
+}
+
+void
+Parser::parseLine(const std::string &raw, int line)
+{
+    std::string text = raw;
+    size_t hash = text.find_first_of("#;");
+    if (hash != std::string::npos)
+        text = text.substr(0, hash);
+    text = trim(text);
+    if (text.empty())
+        return;
+
+    // Leading labels (possibly several).
+    for (;;) {
+        size_t colon = text.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::string label = trim(text.substr(0, colon));
+        // Only treat as a label if it looks like an identifier.
+        bool ident = !label.empty() &&
+                     (std::isalpha(static_cast<unsigned char>(label[0])) ||
+                      label[0] == '_' || label[0] == '.');
+        for (char c : label) {
+            if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == '.'))
+                ident = false;
+        }
+        if (!ident)
+            break;
+        if (symbols_.count(label))
+            err(line, "duplicate label '" + label + "'");
+        symbols_[label] = base_ + pc_;
+        text = trim(text.substr(colon + 1));
+        if (text.empty())
+            return;
+    }
+
+    size_t sp = text.find_first_of(" \t");
+    std::string m = lower(sp == std::string::npos ? text
+                                                  : text.substr(0, sp));
+    std::string rest = sp == std::string::npos ? "" : trim(text.substr(sp));
+    auto ops = splitOperands(rest);
+
+    if (m[0] == '.')
+        parseDirective(m, ops, line);
+    else
+        parseInstr(m, ops, line);
+}
+
+void
+Parser::parseDirective(const std::string &m,
+                       const std::vector<std::string> &ops, int line)
+{
+    auto need = [&](size_t n) {
+        if (ops.size() != n)
+            err(line, "directive " + m + " expects " +
+                          std::to_string(n) + " operand(s)");
+    };
+    Stmt s;
+    s.line = line;
+    s.addr = base_ + pc_;
+    if (m == ".dword" || m == ".word" || m == ".half" || m == ".byte") {
+        need(1);
+        int64_t v = parseImm(ops[0], line);
+        size_t bytes = m == ".dword" ? 8 : m == ".word" ? 4
+                                       : m == ".half"  ? 2 : 1;
+        s.kind = Stmt::Data;
+        for (size_t i = 0; i < bytes; ++i)
+            s.data.push_back(static_cast<uint8_t>(v >> (8 * i)));
+        pc_ += bytes;
+    } else if (m == ".space") {
+        need(1);
+        int64_t n = parseImm(ops[0], line);
+        if (n < 0)
+            err(line, ".space with negative size");
+        s.kind = Stmt::Space;
+        s.space = static_cast<size_t>(n);
+        pc_ += s.space;
+    } else if (m == ".align") {
+        need(1);
+        int64_t a = parseImm(ops[0], line);
+        if (a <= 0 || (a & (a - 1)))
+            err(line, ".align requires a power of two");
+        uint64_t aligned = (pc_ + a - 1) & ~static_cast<uint64_t>(a - 1);
+        s.kind = Stmt::Space;
+        s.space = aligned - pc_;
+        pc_ = aligned;
+    } else {
+        err(line, "unknown directive '" + m + "'");
+    }
+    stmts_.push_back(std::move(s));
+}
+
+void
+Parser::parseInstr(const std::string &m, const std::vector<std::string> &ops,
+                   int line)
+{
+    using namespace isa;
+    auto need = [&](size_t n) {
+        if (ops.size() != n)
+            err(line, m + " expects " + std::to_string(n) + " operand(s)");
+    };
+
+    // --- aliases ---------------------------------------------------
+    if (m == "nop") { need(0); addInst(mkNop(), line); return; }
+    if (m == "li") {
+        need(2);
+        addInst(mkLi(parseReg(ops[0], line),
+                     static_cast<int32_t>(parseImm(ops[1], line))), line);
+        return;
+    }
+    if (m == "mr") {
+        need(2);
+        addInst(mkMr(parseReg(ops[0], line), parseReg(ops[1], line)), line);
+        return;
+    }
+    if (m == "blr") { need(0); addInst(mkBclr(), line); return; }
+    if (m == "bctr") { need(0); addInst(mkBcctr(), line); return; }
+    if (m == "mtlr") {
+        need(1);
+        addInst(mkMtspr(SPR_LR, parseReg(ops[0], line)), line);
+        return;
+    }
+    if (m == "mtctr") {
+        need(1);
+        addInst(mkMtspr(SPR_CTR, parseReg(ops[0], line)), line);
+        return;
+    }
+    if (m == "mflr") {
+        need(1);
+        addInst(mkMfspr(parseReg(ops[0], line), SPR_LR), line);
+        return;
+    }
+    if (m == "mfctr") {
+        need(1);
+        addInst(mkMfspr(parseReg(ops[0], line), SPR_CTR), line);
+        return;
+    }
+    if (m == "mfcr") {
+        need(1);
+        addInst(mkMfcr(parseReg(ops[0], line)), line);
+        return;
+    }
+    if (m == "subi") {
+        need(3);
+        addInst(mkD(Op::ADDI, parseReg(ops[0], line), parseReg(ops[1], line),
+                    static_cast<int32_t>(-parseImm(ops[2], line))), line);
+        return;
+    }
+    if (m == "cmpd" || m == "cmpw" || m == "cmpld" || m == "cmplw") {
+        // cmpd [crN,] rA, rB
+        bool logical = m[3] == 'l' || (m.size() > 4 && m[3] == 'l');
+        bool l64 = m.back() == 'd';
+        logical = m.find('l') == 3; // cmpld / cmplw
+        unsigned bf = 0;
+        size_t i = 0;
+        if (ops.size() == 3)
+            bf = parseCrField(ops[i++], line);
+        else
+            need(2);
+        unsigned ra = parseReg(ops[i++], line);
+        unsigned rb = parseReg(ops[i], line);
+        addInst(mkCmp(logical ? Op::CMPL : Op::CMP, bf, ra, rb, l64), line);
+        return;
+    }
+    if (m == "cmpdi" || m == "cmpwi" || m == "cmpldi" || m == "cmplwi") {
+        bool logical = m.find('l') == 3;
+        bool l64 = m[3] == 'd' || (logical && m[4] == 'd');
+        unsigned bf = 0;
+        size_t i = 0;
+        if (ops.size() == 3)
+            bf = parseCrField(ops[i++], line);
+        else
+            need(2);
+        unsigned ra = parseReg(ops[i++], line);
+        int32_t imm = static_cast<int32_t>(parseImm(ops[i], line));
+        addInst(mkCmpi(logical ? Op::CMPLI : Op::CMPI, bf, ra, imm, l64),
+                line);
+        return;
+    }
+    if (auto ca = condAlias(m)) {
+        // beq [crN,] target
+        unsigned bf = 0;
+        size_t i = 0;
+        if (ops.size() == 2)
+            bf = parseCrField(ops[i++], line);
+        else
+            need(1);
+        Inst inst = mkBc(ca->bo, crBitIndex(bf, ca->bit), 0);
+        addInst(inst, line, ops[i]);
+        return;
+    }
+    if (m == "bdnz" || m == "bdz") {
+        need(1);
+        Inst inst = mkBc(m == "bdnz" ? BO_DNZ : BO_DZ, 0, 0);
+        addInst(inst, line, ops[0]);
+        return;
+    }
+    if (m == "b" || m == "bl") {
+        need(1);
+        Inst inst = mkB(0, m == "bl");
+        addInst(inst, line, ops[0]);
+        return;
+    }
+    if (m == "max" || m == "min") {
+        // Friendly aliases for the paper's instructions.
+        need(3);
+        addInst(mkX(m == "max" ? Op::MAXD : Op::MIND, parseReg(ops[0], line),
+                    parseReg(ops[1], line), parseReg(ops[2], line)), line);
+        return;
+    }
+
+    // --- canonical mnemonics ----------------------------------------
+    bool rc = false;
+    std::string base_m = m;
+    if (base_m.size() > 1 && base_m.back() == '.' && base_m != "andi.") {
+        rc = true;
+        base_m.pop_back();
+    }
+    Op op = opFromMnemonic(base_m);
+    if (op == Op::INVALID)
+        err(line, "unknown mnemonic '" + m + "'");
+    const OpInfo &info = opInfo(op);
+
+    switch (info.format) {
+      case Format::DArith: {
+        if (info.isLoad || info.isStore) {
+            need(2);
+            unsigned rt = parseReg(ops[0], line);
+            auto [disp, ra] = parseMem(ops[1], line);
+            addInst(mkD(op, rt, ra, static_cast<int32_t>(disp)), line);
+        } else {
+            need(3);
+            addInst(mkD(op, parseReg(ops[0], line), parseReg(ops[1], line),
+                        static_cast<int32_t>(parseImm(ops[2], line))),
+                    line);
+        }
+        return;
+      }
+      case Format::DCmp: {
+        // cmpi crN, L, rA, imm
+        need(4);
+        addInst(mkCmpi(op, parseCrField(ops[0], line),
+                       parseReg(ops[2], line),
+                       static_cast<int32_t>(parseImm(ops[3], line)),
+                       parseImm(ops[1], line) != 0), line);
+        return;
+      }
+      case Format::XCmp: {
+        need(4);
+        addInst(mkCmp(op, parseCrField(ops[0], line),
+                      parseReg(ops[2], line), parseReg(ops[3], line),
+                      parseImm(ops[1], line) != 0), line);
+        return;
+      }
+      case Format::X:
+      case Format::XO: {
+        if (!info.readsRB) {
+            need(2);
+            Inst inst = mkUnary(op, parseReg(ops[0], line),
+                                parseReg(ops[1], line), rc);
+            addInst(inst, line);
+        } else {
+            need(3);
+            addInst(mkX(op, parseReg(ops[0], line), parseReg(ops[1], line),
+                        parseReg(ops[2], line), rc), line);
+        }
+        return;
+      }
+      case Format::XShImm: {
+        need(3);
+        addInst(mkShImm(op, parseReg(ops[0], line), parseReg(ops[1], line),
+                        static_cast<unsigned>(parseImm(ops[2], line))),
+                line);
+        return;
+      }
+      case Format::AIsel: {
+        need(4);
+        addInst(mkIsel(parseReg(ops[0], line), parseReg(ops[1], line),
+                       parseReg(ops[2], line),
+                       static_cast<unsigned>(parseImm(ops[3], line))),
+                line);
+        return;
+      }
+      case Format::I: {
+        need(1);
+        addInst(mkB(0, false), line, ops[0]);
+        return;
+      }
+      case Format::BForm: {
+        need(3);
+        Inst inst = mkBc(static_cast<unsigned>(parseImm(ops[0], line)),
+                         static_cast<unsigned>(parseImm(ops[1], line)), 0);
+        addInst(inst, line, ops[2]);
+        return;
+      }
+      case Format::XLBranch: {
+        need(2);
+        Inst inst;
+        inst.op = op;
+        inst.bo = static_cast<uint8_t>(parseImm(ops[0], line));
+        inst.bi = static_cast<uint8_t>(parseImm(ops[1], line));
+        addInst(inst, line);
+        return;
+      }
+      case Format::XLCr: {
+        need(3);
+        addInst(mkCrOp(op, static_cast<unsigned>(parseImm(ops[0], line)),
+                       static_cast<unsigned>(parseImm(ops[1], line)),
+                       static_cast<unsigned>(parseImm(ops[2], line))),
+                line);
+        return;
+      }
+      case Format::XFX: {
+        need(2);
+        if (op == Op::MTSPR) {
+            addInst(mkMtspr(static_cast<unsigned>(parseImm(ops[0], line)),
+                            parseReg(ops[1], line)), line);
+        } else {
+            addInst(mkMfspr(parseReg(ops[0], line),
+                            static_cast<unsigned>(parseImm(ops[1], line))),
+                    line);
+        }
+        return;
+      }
+      case Format::XMfcr: {
+        need(1);
+        addInst(mkMfcr(parseReg(ops[0], line)), line);
+        return;
+      }
+      case Format::SCForm: {
+        need(0);
+        addInst(mkSc(), line);
+        return;
+      }
+    }
+    err(line, "unhandled mnemonic '" + m + "'");
+}
+
+Program
+Parser::finish()
+{
+    Program prog;
+    prog.base = base_;
+    prog.symbols = symbols_;
+    prog.image.resize(pc_, 0);
+
+    for (auto &s : stmts_) {
+        size_t off = s.addr - base_;
+        switch (s.kind) {
+          case Stmt::Space:
+            break;
+          case Stmt::Data:
+            std::memcpy(prog.image.data() + off, s.data.data(),
+                        s.data.size());
+            break;
+          case Stmt::Instr: {
+            isa::Inst inst = s.inst;
+            if (!s.target.empty()) {
+                uint64_t target;
+                auto it = symbols_.find(s.target);
+                if (it != symbols_.end()) {
+                    target = it->second;
+                } else if (auto v = parseInt(s.target)) {
+                    target = static_cast<uint64_t>(*v);
+                } else {
+                    err(s.line, "undefined label '" + s.target + "'");
+                }
+                inst.imm = static_cast<int32_t>(
+                    static_cast<int64_t>(target) -
+                    static_cast<int64_t>(s.addr));
+            }
+            uint32_t word = isa::encode(inst);
+            std::memcpy(prog.image.data() + off, &word, 4);
+            break;
+          }
+        }
+    }
+    return prog;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, uint64_t base)
+{
+    Parser p(base);
+    std::istringstream in(source);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        p.parseLine(line, lineno);
+    }
+    return p.finish();
+}
+
+Program
+assemble(const std::vector<isa::Inst> &insts, uint64_t base)
+{
+    Program prog;
+    prog.base = base;
+    prog.image.resize(insts.size() * 4);
+    for (size_t i = 0; i < insts.size(); ++i) {
+        uint32_t word = isa::encode(insts[i]);
+        std::memcpy(prog.image.data() + i * 4, &word, 4);
+    }
+    return prog;
+}
+
+} // namespace bp5::masm

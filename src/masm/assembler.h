@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Two-pass assembler for MiniPOWER assembly text.
+ *
+ * Accepted syntax (one statement per line, '#' or ';' comments):
+ *
+ *     label:                      ; labels
+ *     addi  r3, r1, 16            ; canonical forms
+ *     lwz   r5, 8(r4)             ; loads/stores with displacement
+ *     cmpdi cr1, r3, 0            ; compare aliases
+ *     beq   cr1, done             ; conditional-branch aliases
+ *     bdnz  loop
+ *     li r4, 10 / mr r3, r4 / nop / blr / bctr
+ *     mtctr r5 / mflr r0 ...
+ *     .dword 0x1234  .word 7  .byte 1  .space 64  .align 8
+ *
+ * Branch targets may be labels or absolute integers.
+ */
+
+#ifndef BIOPERF5_MASM_ASSEMBLER_H
+#define BIOPERF5_MASM_ASSEMBLER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace bp5::masm {
+
+/** Result of assembling a translation unit. */
+struct Program
+{
+    uint64_t base = 0;            ///< load address of image[0]
+    std::vector<uint8_t> image;   ///< raw bytes (code + data)
+    std::unordered_map<std::string, uint64_t> symbols;
+
+    /** Address of a defined label; fatal() if missing. */
+    uint64_t symbol(const std::string &name) const;
+
+    /** Number of bytes in the image. */
+    size_t size() const { return image.size(); }
+};
+
+/** Error raised for malformed assembly input. */
+struct AsmError
+{
+    int line;
+    std::string message;
+};
+
+/**
+ * Assemble @p source at load address @p base.
+ * @throws AsmError on the first syntax or range error.
+ */
+Program assemble(const std::string &source, uint64_t base = 0x10000);
+
+/**
+ * Assemble a sequence of already-decoded instructions (as produced by
+ * the compiler back end) into a Program image at @p base.
+ */
+Program assemble(const std::vector<isa::Inst> &insts, uint64_t base);
+
+} // namespace bp5::masm
+
+#endif // BIOPERF5_MASM_ASSEMBLER_H

@@ -1,0 +1,705 @@
+#include "mpc/codegen.h"
+
+#include "mpc/passes.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace bp5::mpc {
+
+using isa::Inst;
+using isa::Op;
+
+namespace {
+
+/** Lowered instruction with (possibly) virtual register operands. */
+struct LInst
+{
+    Inst base;
+    VReg vd = kNoReg; ///< fills base.rt
+    VReg va = kNoReg; ///< fills base.ra
+    VReg vb = kNoReg; ///< fills base.rb
+    int targetBlk = -1; ///< branch target block
+};
+
+/** Allocatable register pool (r14..r31). r11/r12/r0 are spill scratch. */
+constexpr unsigned kFirstAlloc = 14;
+constexpr unsigned kNumAlloc = 18;
+constexpr unsigned kScratchA = 11;
+constexpr unsigned kScratchB = 12;
+constexpr unsigned kScratchC = 0;
+constexpr unsigned kStackReg = 1;
+constexpr unsigned kMaxArgs = 8;
+
+struct CondLowering
+{
+    unsigned bo;     ///< BC form
+    unsigned crbit;  ///< CR0 bit
+    bool swapSel;    ///< swap x/y when lowering a select
+};
+
+CondLowering
+lowerCond(Cond c)
+{
+    using namespace isa;
+    switch (c) {
+      case Cond::LT: return {BO_COND_TRUE, crBitIndex(0, CR_LT), false};
+      case Cond::GE: return {BO_COND_FALSE, crBitIndex(0, CR_LT), true};
+      case Cond::GT: return {BO_COND_TRUE, crBitIndex(0, CR_GT), false};
+      case Cond::LE: return {BO_COND_FALSE, crBitIndex(0, CR_GT), true};
+      case Cond::EQ: return {BO_COND_TRUE, crBitIndex(0, CR_EQ), false};
+      case Cond::NE: return {BO_COND_FALSE, crBitIndex(0, CR_EQ), true};
+    }
+    panic("bad cond");
+}
+
+bool
+fitsInt16(int64_t v)
+{
+    return v >= -32768 && v <= 32767;
+}
+
+bool
+fitsUint16(int64_t v)
+{
+    return v >= 0 && v <= 0xffff;
+}
+
+class Lowerer
+{
+  public:
+    Lowerer(const Function &fn, const CodegenOptions &opts)
+        : fn_(fn), opts_(opts), nextTmp_(fn.nextReg)
+    {
+    }
+
+    LoweredFunction run();
+
+  private:
+    VReg newTmp() { return nextTmp_++; }
+
+    void emit(Inst base, VReg vd = kNoReg, VReg va = kNoReg,
+              VReg vb = kNoReg, int target = -1)
+    {
+        LInst li;
+        li.base = base;
+        li.vd = vd;
+        li.va = va;
+        li.vb = vb;
+        li.targetBlk = target;
+        code_.push_back(li);
+    }
+
+    void emitConst(VReg dst, int64_t v);
+    VReg materialize(int64_t v);
+    void emitCmp(VReg a, VReg b);
+    void emitSelect(const IrInst &i);
+    void emitMaxMin(VReg dst, VReg a, VReg b, bool isMax);
+    void emitSelectArith(VReg dst, Cond c, VReg a, VReg b, VReg x, VReg y);
+    void emitLoad(const IrInst &i);
+    void emitStore(const IrInst &i);
+    void lowerInst(const IrInst &i, int blkIdx);
+
+    // Register allocation and final emission.
+    void allocate();
+    std::vector<Inst> rewrite();
+
+    const Function &fn_;
+    CodegenOptions opts_;
+    VReg nextTmp_;
+    std::vector<LInst> code_;
+    std::vector<size_t> blockStartL_; ///< LIR index where block begins
+    CodegenStats stats_;
+
+    // Allocation results.
+    std::map<VReg, unsigned> physOf_;
+    std::map<VReg, unsigned> slotOf_;
+};
+
+void
+Lowerer::emitConst(VReg dst, int64_t v)
+{
+    if (fitsInt16(v)) {
+        emit(isa::mkD(Op::ADDI, 0, 0, static_cast<int32_t>(v)), dst);
+        return;
+    }
+    // Chunked build: li 0; (ori top)(sldi 16; ori)*
+    uint64_t u = static_cast<uint64_t>(v);
+    int top = 3;
+    while (top > 0 && ((u >> (16 * top)) & 0xffff) == 0)
+        --top;
+    emit(isa::mkD(Op::ADDI, 0, 0, 0), dst);
+    emit(isa::mkD(Op::ORI, 0, 0,
+                  static_cast<int32_t>((u >> (16 * top)) & 0xffff)),
+         dst, dst);
+    for (int i = top - 1; i >= 0; --i) {
+        emit(isa::mkShImm(Op::SLDI, 0, 0, 16), dst, dst);
+        emit(isa::mkD(Op::ORI, 0, 0,
+                      static_cast<int32_t>((u >> (16 * i)) & 0xffff)),
+             dst, dst);
+    }
+}
+
+VReg
+Lowerer::materialize(int64_t v)
+{
+    VReg t = newTmp();
+    emitConst(t, v);
+    return t;
+}
+
+void
+Lowerer::emitCmp(VReg a, VReg b)
+{
+    emit(isa::mkCmp(Op::CMP, 0, 0, 0, true), kNoReg, a, b);
+}
+
+void
+Lowerer::emitMaxMin(VReg dst, VReg a, VReg b, bool isMax)
+{
+    if (opts_.emitMax) {
+        emit(isa::mkX(isMax ? Op::MAXD : Op::MIND, 0, 0, 0), dst, a, b);
+        ++stats_.maxEmitted;
+        return;
+    }
+    if (opts_.emitIsel) {
+        emitCmp(a, b);
+        // max: (a > b) ? a : b ; min: (a < b) ? a : b
+        unsigned bit = isa::crBitIndex(0, isMax ? isa::CR_GT
+                                                : isa::CR_LT);
+        emit(isa::mkIsel(0, 0, 0, bit), dst, a, b);
+        ++stats_.iselEmitted;
+        return;
+    }
+    emitSelectArith(dst, isMax ? Cond::GT : Cond::LT, a, b, a, b);
+}
+
+void
+Lowerer::emitSelectArith(VReg dst, Cond c, VReg a, VReg b, VReg x, VReg y)
+{
+    // Branch-free fallback without isel/max:
+    //   mask = -(cond) ; dst = y ^ ((x ^ y) & mask)
+    CondLowering cl = lowerCond(c);
+    if (cl.swapSel)
+        std::swap(x, y);
+    emitCmp(a, b);
+    VReg t = newTmp();
+    emit(isa::mkMfcr(0), t);
+    if (cl.crbit > 0)
+        emit(isa::mkShImm(Op::SRDI, 0, 0, cl.crbit), t, t);
+    emit(isa::mkD(Op::ANDI_RC, 0, 0, 1), t, t);
+    VReg mask = newTmp();
+    emit(isa::mkUnary(Op::NEG, 0, 0), mask, t);
+    VReg d = newTmp();
+    emit(isa::mkX(Op::XOR, 0, 0, 0), d, x, y);
+    emit(isa::mkX(Op::AND, 0, 0, 0), d, d, mask);
+    emit(isa::mkX(Op::XOR, 0, 0, 0), dst, d, y);
+}
+
+void
+Lowerer::emitSelect(const IrInst &i)
+{
+    // Prefer the single-cycle max/min when the idiom matches.
+    if (opts_.emitMax) {
+        IrOp k = classifySelect(i);
+        if (k == IrOp::Max || k == IrOp::Min) {
+            emitMaxMin(i.dst, i.a, i.b, k == IrOp::Max);
+            return;
+        }
+    }
+    if (opts_.emitIsel) {
+        CondLowering cl = lowerCond(i.cond);
+        VReg x = i.x, y = i.y;
+        if (cl.swapSel)
+            std::swap(x, y);
+        emitCmp(i.a, i.b);
+        emit(isa::mkIsel(0, 0, 0, cl.crbit), i.dst, x, y);
+        ++stats_.iselEmitted;
+        return;
+    }
+    emitSelectArith(i.dst, i.cond, i.a, i.b, i.x, i.y);
+}
+
+void
+Lowerer::emitLoad(const IrInst &i)
+{
+    VReg base = i.a;
+    VReg index = i.b;
+    int64_t disp = i.imm;
+    if (index != kNoReg && disp != 0) {
+        VReg sum = newTmp();
+        if (fitsInt16(disp)) {
+            emit(isa::mkD(Op::ADDI, 0, 0, static_cast<int32_t>(disp)),
+                 sum, index);
+        } else {
+            VReg c = materialize(disp);
+            emit(isa::mkX(Op::ADD, 0, 0, 0), sum, index, c);
+        }
+        index = sum;
+        disp = 0;
+    }
+    if (index == kNoReg && !fitsInt16(disp)) {
+        index = materialize(disp);
+        disp = 0;
+    }
+
+    bool indexed = index != kNoReg;
+    Op op;
+    bool needExtsb = false;
+    switch (i.size) {
+      case 1:
+        op = indexed ? Op::LBZX : Op::LBZ;
+        needExtsb = i.isSigned;
+        break;
+      case 2:
+        op = indexed ? (i.isSigned ? Op::LHAX : Op::LHZX)
+                     : (i.isSigned ? Op::LHA : Op::LHZ);
+        break;
+      case 4:
+        op = indexed ? (i.isSigned ? Op::LWAX : Op::LWZX)
+                     : (i.isSigned ? Op::LWA : Op::LWZ);
+        break;
+      case 8:
+        op = indexed ? Op::LDX : Op::LD;
+        break;
+      default:
+        panic("bad load size %u", i.size);
+    }
+    if (indexed)
+        emit(isa::mkX(op, 0, 0, 0), i.dst, base, index);
+    else
+        emit(isa::mkD(op, 0, 0, static_cast<int32_t>(disp)), i.dst, base);
+    if (needExtsb)
+        emit(isa::mkUnary(Op::EXTSB, 0, 0), i.dst, i.dst);
+}
+
+void
+Lowerer::emitStore(const IrInst &i)
+{
+    VReg base = i.a;
+    VReg index = i.b;
+    int64_t disp = i.imm;
+    if (index != kNoReg && disp != 0) {
+        VReg sum = newTmp();
+        if (fitsInt16(disp)) {
+            emit(isa::mkD(Op::ADDI, 0, 0, static_cast<int32_t>(disp)),
+                 sum, index);
+        } else {
+            VReg c = materialize(disp);
+            emit(isa::mkX(Op::ADD, 0, 0, 0), sum, index, c);
+        }
+        index = sum;
+        disp = 0;
+    }
+    if (index == kNoReg && !fitsInt16(disp)) {
+        index = materialize(disp);
+        disp = 0;
+    }
+    bool indexed = index != kNoReg;
+    Op op;
+    switch (i.size) {
+      case 1: op = indexed ? Op::STBX : Op::STB; break;
+      case 2: op = indexed ? Op::STHX : Op::STH; break;
+      case 4: op = indexed ? Op::STWX : Op::STW; break;
+      case 8: op = indexed ? Op::STDX : Op::STD; break;
+      default: panic("bad store size %u", i.size);
+    }
+    // Stores carry the value in the RT field (a source).
+    if (indexed)
+        emit(isa::mkX(op, 0, 0, 0), i.x, base, index);
+    else
+        emit(isa::mkD(op, 0, 0, static_cast<int32_t>(disp)), i.x, base);
+}
+
+void
+Lowerer::lowerInst(const IrInst &i, int blkIdx)
+{
+    switch (i.op) {
+      case IrOp::Const:
+        emitConst(i.dst, i.imm);
+        break;
+      case IrOp::Add:
+        emit(isa::mkX(Op::ADD, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::Sub: // dst = a - b  ==  subf dst, b, a
+        emit(isa::mkX(Op::SUBF, 0, 0, 0), i.dst, i.b, i.a);
+        break;
+      case IrOp::Mul:
+        emit(isa::mkX(Op::MULLD, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::Div:
+        emit(isa::mkX(Op::DIVD, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::And:
+        emit(isa::mkX(Op::AND, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::Or:
+        emit(isa::mkX(Op::OR, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::Xor:
+        emit(isa::mkX(Op::XOR, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::Shl:
+        emit(isa::mkX(Op::SLD, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::Shr:
+        emit(isa::mkX(Op::SRD, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::Sar:
+        emit(isa::mkX(Op::SRAD, 0, 0, 0), i.dst, i.a, i.b);
+        break;
+      case IrOp::AddI:
+        if (fitsInt16(i.imm)) {
+            emit(isa::mkD(Op::ADDI, 0, 0, static_cast<int32_t>(i.imm)),
+                 i.dst, i.a);
+        } else {
+            VReg c = materialize(i.imm);
+            emit(isa::mkX(Op::ADD, 0, 0, 0), i.dst, i.a, c);
+        }
+        break;
+      case IrOp::MulI:
+        if (fitsInt16(i.imm)) {
+            emit(isa::mkD(Op::MULLI, 0, 0, static_cast<int32_t>(i.imm)),
+                 i.dst, i.a);
+        } else {
+            VReg c = materialize(i.imm);
+            emit(isa::mkX(Op::MULLD, 0, 0, 0), i.dst, i.a, c);
+        }
+        break;
+      case IrOp::AndI:
+        if (fitsUint16(i.imm)) {
+            emit(isa::mkD(Op::ANDI_RC, 0, 0,
+                          static_cast<int32_t>(i.imm)), i.dst, i.a);
+        } else {
+            VReg c = materialize(i.imm);
+            emit(isa::mkX(Op::AND, 0, 0, 0), i.dst, i.a, c);
+        }
+        break;
+      case IrOp::OrI:
+        if (fitsUint16(i.imm)) {
+            emit(isa::mkD(Op::ORI, 0, 0, static_cast<int32_t>(i.imm)),
+                 i.dst, i.a);
+        } else {
+            VReg c = materialize(i.imm);
+            emit(isa::mkX(Op::OR, 0, 0, 0), i.dst, i.a, c);
+        }
+        break;
+      case IrOp::ShlI:
+        emit(isa::mkShImm(Op::SLDI, 0, 0,
+                          static_cast<unsigned>(i.imm)), i.dst, i.a);
+        break;
+      case IrOp::ShrI:
+        emit(isa::mkShImm(Op::SRDI, 0, 0,
+                          static_cast<unsigned>(i.imm)), i.dst, i.a);
+        break;
+      case IrOp::SraI:
+        emit(isa::mkShImm(Op::SRADI, 0, 0,
+                          static_cast<unsigned>(i.imm)), i.dst, i.a);
+        break;
+      case IrOp::Load:
+        emitLoad(i);
+        break;
+      case IrOp::Store:
+        emitStore(i);
+        break;
+      case IrOp::Select:
+        emitSelect(i);
+        break;
+      case IrOp::Max:
+        emitMaxMin(i.dst, i.a, i.b, true);
+        break;
+      case IrOp::Min:
+        emitMaxMin(i.dst, i.a, i.b, false);
+        break;
+      case IrOp::Br: {
+        emitCmp(i.a, i.b);
+        if (i.tblk == blkIdx + 1) {
+            // True side is the fall-through: branch on the negated
+            // condition to the false side (gcc-style layout).
+            CondLowering cl = lowerCond(negate(i.cond));
+            emit(isa::mkBc(cl.bo, cl.crbit, 0), kNoReg, kNoReg, kNoReg,
+                 i.fblk);
+            ++stats_.branchesEmitted;
+        } else {
+            CondLowering cl = lowerCond(i.cond);
+            emit(isa::mkBc(cl.bo, cl.crbit, 0), kNoReg, kNoReg, kNoReg,
+                 i.tblk);
+            ++stats_.branchesEmitted;
+            if (i.fblk != blkIdx + 1)
+                emit(isa::mkB(0), kNoReg, kNoReg, kNoReg, i.fblk);
+        }
+        break;
+      }
+      case IrOp::Jump:
+        if (i.tblk != blkIdx + 1)
+            emit(isa::mkB(0), kNoReg, kNoReg, kNoReg, i.tblk);
+        break;
+      case IrOp::Ret:
+        if (i.a != kNoReg) {
+            // mr r3, val
+            Inst mr = isa::mkX(Op::OR, 3, 0, 0);
+            emit(mr, kNoReg, i.a, i.a);
+        }
+        emit(isa::mkD(Op::ADDI, 0, 0, 0)); // li r0, 0
+        emit(isa::mkSc());
+        break;
+    }
+}
+
+void
+Lowerer::allocate()
+{
+    // Occurrence-span intervals.
+    struct Interval
+    {
+        VReg v;
+        size_t start, end;
+    };
+    std::map<VReg, Interval> ivals;
+    std::map<VReg, bool> firstIsUse; // read before any write (upward
+                                     // exposed: a loop-carried value)
+    auto touch = [&](VReg v, size_t pos, bool is_def) {
+        if (v == kNoReg)
+            return;
+        auto it = ivals.find(v);
+        if (it == ivals.end()) {
+            ivals[v] = {v, pos, pos};
+            firstIsUse[v] = !is_def;
+        } else {
+            it->second.end = pos;
+        }
+    };
+    for (size_t p = 0; p < code_.size(); ++p) {
+        const LInst &li = code_[p];
+        const isa::OpInfo &info = isa::opInfo(li.base.op);
+        // Sources are read before the destination is written.
+        touch(li.va, p, false);
+        touch(li.vb, p, false);
+        if (li.vd != kNoReg)
+            touch(li.vd, p, !info.readsRT);
+    }
+
+    // Loop extension.  A value is live across a backward branch
+    // [lo, hi] when it is defined before the loop and used inside, or
+    // when its first occurrence in the loop is a read (loop-carried),
+    // or when it is defined inside and used after the loop (the loop
+    // may exit before the redefinition).  Purely loop-local temporaries
+    // (def before use within one iteration) keep their tight spans.
+    std::vector<std::pair<size_t, size_t>> backEdges; // (target, branch)
+    for (size_t p = 0; p < code_.size(); ++p) {
+        int tb = code_[p].targetBlk;
+        if (tb >= 0) {
+            size_t tstart = blockStartL_[static_cast<size_t>(tb)];
+            if (tstart <= p)
+                backEdges.emplace_back(tstart, p);
+        }
+    }
+    bool extended = true;
+    while (extended) {
+        extended = false;
+        for (auto &[lo, hi] : backEdges) {
+            for (auto &[v, iv] : ivals) {
+                if (iv.start > hi || iv.end < lo)
+                    continue; // no overlap with the loop
+                bool carried = iv.start < lo || firstIsUse[v];
+                bool live_out = iv.end > hi && iv.start >= lo;
+                if (carried && iv.end < hi) {
+                    iv.end = hi;
+                    extended = true;
+                }
+                if ((carried && firstIsUse[v] && iv.start > lo) ||
+                    (live_out && iv.start > lo)) {
+                    iv.start = lo;
+                    extended = true;
+                }
+            }
+        }
+    }
+
+    std::vector<Interval> order;
+    for (auto &[v, iv] : ivals)
+        order.push_back(iv);
+    std::sort(order.begin(), order.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start ||
+                         (a.start == b.start && a.v < b.v);
+              });
+
+    std::vector<Interval> active;
+    std::vector<unsigned> freeRegs;
+    for (unsigned r = 0; r < kNumAlloc; ++r)
+        freeRegs.push_back(kFirstAlloc + kNumAlloc - 1 - r);
+    unsigned nextSlot = 0;
+
+    for (const Interval &iv : order) {
+        // Expire.
+        for (size_t k = 0; k < active.size();) {
+            if (active[k].end < iv.start) {
+                freeRegs.push_back(physOf_[active[k].v]);
+                active.erase(active.begin() + static_cast<long>(k));
+            } else {
+                ++k;
+            }
+        }
+        if (!freeRegs.empty()) {
+            physOf_[iv.v] = freeRegs.back();
+            freeRegs.pop_back();
+            active.push_back(iv);
+            continue;
+        }
+        // Spill the interval that ends last.
+        size_t victim = active.size();
+        size_t far = iv.end;
+        for (size_t k = 0; k < active.size(); ++k) {
+            if (active[k].end > far) {
+                far = active[k].end;
+                victim = k;
+            }
+        }
+        if (victim == active.size()) {
+            slotOf_[iv.v] = nextSlot++;
+        } else {
+            VReg vv = active[victim].v;
+            physOf_[iv.v] = physOf_[vv];
+            physOf_.erase(vv);
+            slotOf_[vv] = nextSlot++;
+            active.erase(active.begin() + static_cast<long>(victim));
+            active.push_back(iv);
+        }
+    }
+    stats_.spilledRegs = nextSlot;
+}
+
+std::vector<Inst>
+Lowerer::rewrite()
+{
+    std::vector<Inst> out;
+    std::vector<size_t> blockStartM(blockStartL_.size(), 0);
+    std::vector<std::pair<size_t, int>> fixups; // (machine idx, block)
+
+    size_t nextBlock = 0;
+    for (size_t p = 0; p < code_.size(); ++p) {
+        while (nextBlock < blockStartL_.size() &&
+               blockStartL_[nextBlock] == p) {
+            blockStartM[nextBlock] = out.size();
+            ++nextBlock;
+        }
+        LInst li = code_[p];
+        const isa::OpInfo &info = isa::opInfo(li.base.op);
+
+        auto slotDisp = [&](VReg v) {
+            return -8 * (static_cast<int32_t>(slotOf_[v]) + 1);
+        };
+
+        // Assign scratch registers and reload spilled sources.
+        bool scratchTaken[3] = {false, false, false};
+        const unsigned scratchPool[3] = {kScratchA, kScratchB, kScratchC};
+        auto scratchFor = [&](bool canBeR0) -> unsigned {
+            for (unsigned k = 0; k < 3; ++k) {
+                if (scratchTaken[k])
+                    continue;
+                if (scratchPool[k] == kScratchC && !canBeR0)
+                    continue;
+                scratchTaken[k] = true;
+                return scratchPool[k];
+            }
+            panic("out of spill scratch registers");
+        };
+
+        auto resolve = [&](VReg v, bool isBase) -> unsigned {
+            auto it = physOf_.find(v);
+            if (it != physOf_.end())
+                return it->second;
+            unsigned s = scratchFor(!isBase);
+            out.push_back(isa::mkD(Op::LD, s, kStackReg, slotDisp(v)));
+            return s;
+        };
+
+        bool defSpilled = false;
+        VReg defReg = kNoReg;
+        if (li.va != kNoReg)
+            li.base.ra = static_cast<uint8_t>(resolve(li.va, true));
+        if (li.vb != kNoReg)
+            li.base.rb = static_cast<uint8_t>(resolve(li.vb, false));
+        if (li.vd != kNoReg) {
+            bool rt_is_source = info.readsRT;
+            if (rt_is_source) {
+                li.base.rt =
+                    static_cast<uint8_t>(resolve(li.vd, false));
+            } else {
+                auto it = physOf_.find(li.vd);
+                if (it != physOf_.end()) {
+                    li.base.rt = static_cast<uint8_t>(it->second);
+                } else {
+                    unsigned s = scratchFor(true);
+                    li.base.rt = static_cast<uint8_t>(s);
+                    defSpilled = true;
+                    defReg = li.vd;
+                }
+            }
+        }
+
+        if (li.targetBlk >= 0)
+            fixups.emplace_back(out.size(), li.targetBlk);
+        out.push_back(li.base);
+        if (defSpilled) {
+            out.push_back(isa::mkD(Op::STD, li.base.rt, kStackReg,
+                                   slotDisp(defReg)));
+        }
+    }
+    while (nextBlock < blockStartL_.size()) {
+        blockStartM[nextBlock] = out.size();
+        ++nextBlock;
+    }
+
+    for (auto &[mi, blk] : fixups) {
+        int64_t delta =
+            (static_cast<int64_t>(blockStartM[static_cast<size_t>(blk)]) -
+             static_cast<int64_t>(mi)) * 4;
+        out[mi].imm = static_cast<int32_t>(delta);
+    }
+    return out;
+}
+
+LoweredFunction
+Lowerer::run()
+{
+    fn_.verify();
+    BP5_ASSERT(fn_.numArgs <= kMaxArgs, "too many arguments");
+
+    // Prologue: copy incoming argument registers into their vregs.
+    for (unsigned a = 0; a < fn_.numArgs; ++a) {
+        Inst mr = isa::mkX(Op::OR, 0, 3 + a, 3 + a);
+        emit(mr, static_cast<VReg>(a));
+    }
+
+    blockStartL_.assign(fn_.blocks.size(), 0);
+    for (size_t bi = 0; bi < fn_.blocks.size(); ++bi) {
+        // The entry block includes the prologue in its range; no
+        // builder emits branches back to the entry block.
+        blockStartL_[bi] = bi == 0 ? 0 : code_.size();
+        const Block &b = fn_.blocks[bi];
+        for (const IrInst &inst : b.insts)
+            lowerInst(inst, static_cast<int>(bi));
+    }
+
+    allocate();
+    LoweredFunction lf;
+    lf.insts = rewrite();
+    stats_.numInsts = static_cast<unsigned>(lf.insts.size());
+    lf.stats = stats_;
+    return lf;
+}
+
+} // namespace
+
+LoweredFunction
+lower(const Function &fn, const CodegenOptions &opts)
+{
+    Lowerer l(fn, opts);
+    return l.run();
+}
+
+} // namespace bp5::mpc

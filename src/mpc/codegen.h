@@ -1,0 +1,55 @@
+/**
+ * @file
+ * mpc back end: IR lowering to MiniPOWER, naive linear-scan register
+ * allocation with spilling, branch finalization.
+ *
+ * ABI: arguments arrive in r3..r10, the result is returned in r3, r1
+ * is the stack pointer (spill slots grow downward), r11/r12/r0 are
+ * reserved as spill scratch, and the compiled unit is a standalone
+ * program that terminates with the SYS_EXIT system call carrying the
+ * returned value.
+ */
+
+#ifndef BIOPERF5_MPC_CODEGEN_H
+#define BIOPERF5_MPC_CODEGEN_H
+
+#include <vector>
+
+#include "isa/inst.h"
+#include "mpc/ir.h"
+
+namespace bp5::mpc {
+
+/** Code-generation options (paper Fig 3 variants). */
+struct CodegenOptions
+{
+    bool emitMax = false;  ///< lower max/min idioms to maxd/mind
+    bool emitIsel = false; ///< lower selects to cmp+isel
+};
+
+/** Back-end statistics. */
+struct CodegenStats
+{
+    unsigned numInsts = 0;
+    unsigned spilledRegs = 0;
+    unsigned maxEmitted = 0;   ///< maxd/mind instructions emitted
+    unsigned iselEmitted = 0;
+    unsigned branchesEmitted = 0; ///< conditional branches
+};
+
+/** Result of lowering a function. */
+struct LoweredFunction
+{
+    std::vector<isa::Inst> insts;
+    CodegenStats stats;
+};
+
+/**
+ * Lower @p fn to a standalone MiniPOWER instruction sequence.
+ * The function must verify().
+ */
+LoweredFunction lower(const Function &fn, const CodegenOptions &opts);
+
+} // namespace bp5::mpc
+
+#endif // BIOPERF5_MPC_CODEGEN_H

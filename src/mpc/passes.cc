@@ -1,0 +1,369 @@
+#include "mpc/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/logging.h"
+
+namespace bp5::mpc {
+
+IrOp
+classifySelect(const IrInst &sel)
+{
+    if (sel.op != IrOp::Select)
+        return IrOp::Select;
+    bool fwd = sel.x == sel.a && sel.y == sel.b; // cond ? a : b
+    bool rev = sel.x == sel.b && sel.y == sel.a; // cond ? b : a
+    if (!fwd && !rev)
+        return IrOp::Select;
+    switch (sel.cond) {
+      case Cond::LT:
+      case Cond::LE:
+        return fwd ? IrOp::Min : IrOp::Max;
+      case Cond::GT:
+      case Cond::GE:
+        return fwd ? IrOp::Max : IrOp::Min;
+      default:
+        return IrOp::Select;
+    }
+}
+
+namespace {
+
+/** True if @p i may be executed speculatively (hoisted past a branch). */
+bool
+speculatable(const IrInst &i)
+{
+    switch (i.op) {
+      case IrOp::Store: // side effect
+      case IrOp::Div:   // may trap on a path that never executed it
+      case IrOp::Br:
+      case IrOp::Jump:
+      case IrOp::Ret:
+        return false;
+      case IrOp::Load:
+        return i.safe;
+      default:
+        return true;
+    }
+}
+
+/**
+ * A side block of a candidate hammock: single-predecessor, ends with
+ * an unconditional jump, every instruction speculatable.
+ */
+struct Side
+{
+    int blk = -1;
+    int join = -1;
+    bool shapeOk = false;  ///< single-pred block ending in a jump
+    bool unsafe = false;   ///< contains code that cannot speculate
+    bool viable = false;   ///< shapeOk && !unsafe
+};
+
+Side
+analyzeSide(const Function &fn, int blk, int pred, unsigned maxInsts)
+{
+    Side s;
+    s.blk = blk;
+    const Block &b = fn.block(blk);
+    if (!b.terminated() || b.terminator().op != IrOp::Jump)
+        return s;
+    s.join = b.terminator().tblk;
+    auto preds = fn.predecessors(blk);
+    if (preds.size() != 1 || preds[0] != pred)
+        return s;
+    if (b.insts.size() - 1 > maxInsts)
+        return s;
+    s.shapeOk = true;
+    for (size_t k = 0; k + 1 < b.insts.size(); ++k) {
+        if (!speculatable(b.insts[k])) {
+            s.unsafe = true;
+            break;
+        }
+    }
+    s.viable = s.shapeOk && !s.unsafe;
+    return s;
+}
+
+/**
+ * Copy @p side's instructions into @p out with destination renaming.
+ * Returns the final renamed value of every register the side defines
+ * (in definition order) and records pure copies so selects can
+ * reference the original source directly.
+ */
+struct RenamedSide
+{
+    std::vector<IrInst> code;
+    std::vector<std::pair<VReg, VReg>> finals; ///< (original, final value)
+};
+
+RenamedSide
+renameSide(Function &fn, const Block &side)
+{
+    RenamedSide out;
+    std::map<VReg, VReg> cur;      ///< original -> current renamed reg
+    std::map<VReg, VReg> copyOf;   ///< renamed reg -> copied-from reg
+    auto use = [&](VReg r) {
+        auto it = cur.find(r);
+        return it == cur.end() ? r : it->second;
+    };
+    for (size_t k = 0; k + 1 < side.insts.size(); ++k) {
+        IrInst i = side.insts[k];
+        i.a = i.a == kNoReg ? i.a : use(i.a);
+        i.b = i.b == kNoReg ? i.b : use(i.b);
+        i.x = i.x == kNoReg ? i.x : use(i.x);
+        i.y = i.y == kNoReg ? i.y : use(i.y);
+        VReg orig = i.dst;
+        BP5_ASSERT(orig != kNoReg, "side inst without destination");
+        VReg fresh = fn.newReg();
+        i.dst = fresh;
+        // Track pure copies (OrI/AddI with imm 0) for canonical selects.
+        if ((i.op == IrOp::OrI || i.op == IrOp::AddI) && i.imm == 0)
+            copyOf[fresh] = i.a;
+        cur[orig] = fresh;
+        out.code.push_back(i);
+    }
+    // Definition order of final values.
+    std::vector<VReg> order;
+    for (size_t k = 0; k + 1 < side.insts.size(); ++k) {
+        VReg orig = side.insts[k].dst;
+        if (std::find(order.begin(), order.end(), orig) == order.end())
+            order.push_back(orig);
+    }
+    for (VReg orig : order) {
+        VReg fin = cur[orig];
+        // See through copy chains so max/min patterns stay visible.
+        auto it = copyOf.find(fin);
+        while (it != copyOf.end()) {
+            fin = it->second;
+            it = copyOf.find(fin);
+        }
+        out.finals.emplace_back(orig, fin);
+    }
+    return out;
+}
+
+} // namespace
+
+IfConvertStats
+ifConvert(Function &fn, const IfConvertOptions &opts)
+{
+    IfConvertStats stats;
+    bool changed = true;
+    bool counting = false; // rejections tallied in one final pass
+    while (changed || !counting) {
+        if (!changed)
+            counting = true;
+        changed = false;
+        for (Block &a : fn.blocks) {
+            if (!a.terminated() || a.terminator().op != IrOp::Br)
+                continue;
+            IrInst br = a.terminator();
+            if (br.tblk == br.fblk)
+                continue;
+
+            Side t = analyzeSide(fn, br.tblk, a.id, opts.maxHammockInsts);
+            Side f = analyzeSide(fn, br.fblk, a.id, opts.maxHammockInsts);
+
+            bool triangle_t = t.viable && t.join == br.fblk;
+            bool triangle_f = f.viable && f.join == br.tblk;
+            bool diamond = t.viable && f.viable && t.join == f.join;
+
+            if (!(triangle_t || triangle_f || diamond)) {
+                if (!counting)
+                    continue;
+                // Distinguish "the shape was a hammock but the code
+                // inside may not speculate" from plain non-hammocks.
+                bool tri_t_shape = t.shapeOk && t.join == br.fblk;
+                bool tri_f_shape = f.shapeOk && f.join == br.tblk;
+                bool dia_shape = t.shapeOk && f.shapeOk &&
+                                 t.join == f.join;
+                if ((tri_t_shape && t.unsafe) ||
+                    (tri_f_shape && f.unsafe) ||
+                    (dia_shape && (t.unsafe || f.unsafe))) {
+                    ++stats.rejectedUnsafe;
+                } else {
+                    ++stats.rejectedShape;
+                }
+                continue;
+            }
+            // Build the replacement: renamed side code plus selects.
+            std::vector<IrInst> newCode;
+            std::vector<IrInst> selects;
+            int join;
+            Cond cond = br.cond;
+
+            auto makeSelect = [&](VReg orig, VReg xval, VReg yval) {
+                IrInst s;
+                s.op = IrOp::Select;
+                s.dst = orig;
+                s.cond = cond;
+                s.a = br.a;
+                s.b = br.b;
+                s.x = xval;
+                s.y = yval;
+                selects.push_back(s);
+            };
+
+            if (diamond) {
+                RenamedSide rt = renameSide(fn, fn.block(t.blk));
+                RenamedSide rf = renameSide(fn, fn.block(f.blk));
+                join = t.join;
+                newCode = rt.code;
+                newCode.insert(newCode.end(), rf.code.begin(),
+                               rf.code.end());
+                std::set<VReg> all;
+                for (auto &[o, v] : rt.finals)
+                    all.insert(o);
+                for (auto &[o, v] : rf.finals)
+                    all.insert(o);
+                auto finalOf = [](const RenamedSide &r, VReg o,
+                                  VReg dflt) {
+                    for (auto &[orig, v] : r.finals)
+                        if (orig == o)
+                            return v;
+                    return dflt;
+                };
+                for (VReg o : all)
+                    makeSelect(o, finalOf(rt, o, o), finalOf(rf, o, o));
+            } else if (triangle_t) {
+                RenamedSide rt = renameSide(fn, fn.block(t.blk));
+                join = br.fblk;
+                newCode = rt.code;
+                for (auto &[o, v] : rt.finals)
+                    makeSelect(o, v, o);
+            } else { // triangle_f: code runs when the condition is false
+                RenamedSide rf = renameSide(fn, fn.block(f.blk));
+                join = br.tblk;
+                newCode = rf.code;
+                for (auto &[o, v] : rf.finals)
+                    makeSelect(o, o, v);
+            }
+
+            if (opts.onlyMaxPatterns) {
+                // Model gcc's pattern matcher: every select must reduce
+                // to a max/min and the side code must be pure copies
+                // feeding those selects.
+                bool ok = !selects.empty();
+                for (const IrInst &s : selects) {
+                    if (classifySelect(s) == IrOp::Select)
+                        ok = false;
+                }
+                for (const IrInst &i : newCode) {
+                    bool is_copy = (i.op == IrOp::OrI ||
+                                    i.op == IrOp::AddI) && i.imm == 0;
+                    if (!is_copy)
+                        ok = false;
+                }
+                if (!ok) {
+                    if (counting)
+                        ++stats.rejectedPattern;
+                    continue;
+                }
+            }
+            if (counting)
+                continue; // converged: rejections only
+
+            // Splice: side code + selects replace the branch; fall
+            // through to the join block.
+            a.insts.pop_back(); // the Br
+            for (IrInst &i : newCode)
+                a.insts.push_back(i);
+            for (IrInst &s : selects)
+                a.insts.push_back(s);
+            IrInst j;
+            j.op = IrOp::Jump;
+            j.tblk = join;
+            a.insts.push_back(j);
+
+            ++stats.converted;
+            changed = true;
+        }
+    }
+    return stats;
+}
+
+void
+removeUnreachableBlocks(Function &fn)
+{
+    std::vector<bool> reach(fn.blocks.size(), false);
+    std::vector<int> work{0};
+    reach[0] = true;
+    while (!work.empty()) {
+        int b = work.back();
+        work.pop_back();
+        for (int s : fn.successors(b)) {
+            if (!reach[static_cast<size_t>(s)]) {
+                reach[static_cast<size_t>(s)] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    // Compact while preserving ids via a remap table.
+    std::vector<int> remap(fn.blocks.size(), -1);
+    std::vector<Block> kept;
+    for (size_t i = 0; i < fn.blocks.size(); ++i) {
+        if (reach[i]) {
+            remap[i] = static_cast<int>(kept.size());
+            kept.push_back(std::move(fn.blocks[i]));
+        }
+    }
+    for (Block &b : kept) {
+        b.id = remap[static_cast<size_t>(b.id)];
+        if (!b.insts.empty()) {
+            IrInst &t = b.insts.back();
+            if (t.op == IrOp::Br) {
+                t.tblk = remap[static_cast<size_t>(t.tblk)];
+                t.fblk = remap[static_cast<size_t>(t.fblk)];
+            } else if (t.op == IrOp::Jump) {
+                t.tblk = remap[static_cast<size_t>(t.tblk)];
+            }
+        }
+    }
+    fn.blocks = std::move(kept);
+}
+
+unsigned
+deadCodeElim(Function &fn)
+{
+    unsigned removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::set<VReg> used;
+        for (const Block &b : fn.blocks) {
+            for (const IrInst &i : b.insts) {
+                for (VReg r : {i.a, i.b, i.x, i.y}) {
+                    if (r != kNoReg)
+                        used.insert(r);
+                }
+                // Select with dst==y implicitly reads dst.
+                if (i.op == IrOp::Select && i.y == i.dst)
+                    used.insert(i.dst);
+            }
+        }
+        for (Block &b : fn.blocks) {
+            auto keep = [&](const IrInst &i) {
+                if (i.isTerminator() || i.hasSideEffect())
+                    return true;
+                if (i.dst == kNoReg)
+                    return true;
+                return used.count(i.dst) > 0;
+            };
+            size_t before = b.insts.size();
+            b.insts.erase(
+                std::remove_if(b.insts.begin(), b.insts.end(),
+                               [&](const IrInst &i) { return !keep(i); }),
+                b.insts.end());
+            if (b.insts.size() != before) {
+                removed += static_cast<unsigned>(before - b.insts.size());
+                changed = true;
+            }
+        }
+    }
+    return removed;
+}
+
+} // namespace bp5::mpc

@@ -1,0 +1,99 @@
+#include "sim/cache.h"
+
+#include "support/bitfield.h"
+#include "support/logging.h"
+
+namespace bp5::sim {
+
+Cache::Cache(const CacheParams &params, Cache *next, unsigned memLatency)
+    : params_(params), next_(next), memLatency_(memLatency)
+{
+    BP5_ASSERT(isPow2(params_.lineBytes), "line size must be a power of 2");
+    BP5_ASSERT(params_.assoc > 0, "associativity must be positive");
+    uint64_t lines = params_.sizeBytes / params_.lineBytes;
+    BP5_ASSERT(lines % params_.assoc == 0, "size/assoc mismatch");
+    numSets_ = static_cast<unsigned>(lines / params_.assoc);
+    BP5_ASSERT(isPow2(numSets_), "set count must be a power of 2");
+    lines_.resize(lines);
+}
+
+uint64_t
+Cache::lineIndex(uint64_t addr) const
+{
+    uint64_t set = (addr / params_.lineBytes) & (numSets_ - 1);
+    return set * params_.assoc;
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr / params_.lineBytes / numSets_;
+}
+
+unsigned
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    uint64_t base = lineIndex(addr);
+    uint64_t tag = tagOf(addr);
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &l = lines_[base + w];
+        if (l.valid && l.tag == tag) {
+            l.lruStamp = ++stamp_;
+            if (is_write)
+                l.dirty = true;
+            return params_.hitLatency;
+        }
+    }
+
+    // Miss: fetch from below, allocate, evict LRU.
+    ++stats_.misses;
+    unsigned below = next_ ? next_->access(addr, false) : memLatency_;
+
+    unsigned victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &l = lines_[base + w];
+        if (!l.valid) {
+            victim = w;
+            break;
+        }
+        if (l.lruStamp < oldest) {
+            oldest = l.lruStamp;
+            victim = w;
+        }
+    }
+    Line &v = lines_[base + victim];
+    if (v.valid && v.dirty) {
+        ++stats_.writebacks;
+        // Writeback traffic is off the critical path (write buffers).
+    }
+    v.valid = true;
+    v.dirty = is_write;
+    v.tag = tag;
+    v.lruStamp = ++stamp_;
+    return params_.hitLatency + below;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t base = lineIndex(addr);
+    uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        const Line &l = lines_[base + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines_)
+        l = Line();
+}
+
+} // namespace bp5::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Timing-only set-associative cache model with true-LRU replacement and
+ * write-back/write-allocate policy.  Caches chain to a next level; the
+ * bottom of the chain is main memory with a fixed latency.  The model
+ * tracks tags only (data lives in sim::Memory), which is exact for the
+ * hit/miss behaviour the paper reports (Table I's L1D miss rate).
+ */
+
+#ifndef BIOPERF5_SIM_CACHE_H
+#define BIOPERF5_SIM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bp5::sim {
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 128;
+    unsigned hitLatency = 1;   ///< cycles added on a hit at this level
+};
+
+/** Access statistics for one cache level. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+
+    double missRate() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+};
+
+/** One level of a tag-only cache hierarchy. */
+class Cache
+{
+  public:
+    /**
+     * @param params geometry/latency
+     * @param next next level, or nullptr for "memory is next"
+     * @param memLatency latency charged when the last level misses
+     */
+    Cache(const CacheParams &params, Cache *next, unsigned memLatency = 230);
+
+    /**
+     * Access @p addr (read or write).  Returns the total added latency
+     * in cycles (this level's hit latency plus any lower-level cost).
+     */
+    unsigned access(uint64_t addr, bool is_write);
+
+    /** True if the line containing @p addr is currently resident. */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate all lines (keeps statistics). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats(); }
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lruStamp = 0;
+    };
+
+    uint64_t lineIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheParams params_;
+    Cache *next_;
+    unsigned memLatency_;
+    unsigned numSets_;
+    std::vector<Line> lines_; // numSets * assoc
+    uint64_t stamp_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace bp5::sim
+
+#endif // BIOPERF5_SIM_CACHE_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Architectural state of a MiniPOWER hardware thread.
+ */
+
+#ifndef BIOPERF5_SIM_CORE_STATE_H
+#define BIOPERF5_SIM_CORE_STATE_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace bp5::sim {
+
+/** GPRs, CR, LR, CTR, XER and the program counter. */
+struct CoreState
+{
+    std::array<uint64_t, isa::kNumGprs> gpr{};
+    uint32_t cr = 0;
+    uint64_t lr = 0;
+    uint64_t ctr = 0;
+    uint64_t xer = 0;
+    uint64_t pc = 0;
+
+    /** Read CR bit @p i (0..31). */
+    bool
+    crBit(unsigned i) const
+    {
+        return (cr >> i) & 1;
+    }
+
+    /** Set CR bit @p i. */
+    void
+    setCrBit(unsigned i, bool v)
+    {
+        if (v)
+            cr |= (1u << i);
+        else
+            cr &= ~(1u << i);
+    }
+
+    /** Write a whole 4-bit CR field (LT/GT/EQ/SO packed LSB-first). */
+    void
+    setCrField(unsigned crf, unsigned nibble)
+    {
+        cr = (cr & ~(0xfu << (crf * 4))) | ((nibble & 0xf) << (crf * 4));
+    }
+
+    /** Read a whole 4-bit CR field. */
+    unsigned
+    crField(unsigned crf) const
+    {
+        return (cr >> (crf * 4)) & 0xf;
+    }
+
+    void
+    reset()
+    {
+        gpr.fill(0);
+        cr = 0;
+        lr = ctr = xer = pc = 0;
+    }
+};
+
+} // namespace bp5::sim
+
+#endif // BIOPERF5_SIM_CORE_STATE_H

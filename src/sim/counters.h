@@ -1,0 +1,159 @@
+/**
+ * @file
+ * PMU-style performance counters of the core model.  These mirror the
+ * POWER5 hardware-counter quantities the paper reports: IPC, L1D miss
+ * rate, direction- vs target-caused branch mispredictions, completion
+ * stalls attributed to FXU, and the branch-mix statistics of Table II.
+ */
+
+#ifndef BIOPERF5_SIM_COUNTERS_H
+#define BIOPERF5_SIM_COUNTERS_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opcodes.h"
+
+namespace bp5::sim {
+
+/** Why the commit stage failed to commit on a given cycle. */
+enum class StallReason : unsigned
+{
+    None,     ///< committed at full width
+    Frontend, ///< fetch-limited (taken-branch bubbles, I-cache)
+    Branch,   ///< redirect after a branch misprediction
+    FXU,      ///< waiting on a fixed-point result or free FXU
+    LSU,      ///< waiting on a load/store (cache misses)
+    Other,
+    NUM_REASONS,
+};
+
+/** Aggregate counters for one simulation run or interval. */
+struct Counters
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+
+    // Branch statistics.
+    uint64_t branches = 0;          ///< all branch instructions
+    uint64_t condBranches = 0;
+    uint64_t takenBranches = 0;
+    uint64_t mispredDirection = 0;  ///< direction mispredicts
+    uint64_t mispredTarget = 0;     ///< target mispredicts (indirect)
+    uint64_t takenBubbles = 0;      ///< 2-cycle taken-branch penalties paid
+
+    // BTAC.
+    uint64_t btacPredictions = 0;
+    uint64_t btacCorrect = 0;
+    uint64_t btacMispredicts = 0;
+
+    // Memory.
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l1iAccesses = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l2Misses = 0;
+
+    // Completion-stall cycles by attributed reason.
+    std::array<uint64_t, size_t(StallReason::NUM_REASONS)> stallCycles{};
+
+    // Dynamic instruction mix.
+    std::array<uint64_t, size_t(isa::Op::NUM_OPS)> opCount{};
+
+    // ---- derived metrics -------------------------------------------
+
+    double ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+
+    double
+    branchFraction() const
+    {
+        return instructions ? double(branches) / double(instructions) : 0.0;
+    }
+
+    /** Mispredictions (any cause) per conditional branch. */
+    double
+    branchMispredictRate() const
+    {
+        uint64_t m = mispredDirection + mispredTarget;
+        return condBranches ? double(m) / double(condBranches) : 0.0;
+    }
+
+    /** Share of all mispredictions caused by wrong direction (Table I). */
+    double
+    mispredictDirectionShare() const
+    {
+        uint64_t m = mispredDirection + mispredTarget;
+        return m ? double(mispredDirection) / double(m) : 0.0;
+    }
+
+    double
+    takenBranchFraction() const
+    {
+        return branches ? double(takenBranches) / double(branches) : 0.0;
+    }
+
+    double
+    l1dMissRate() const
+    {
+        return l1dAccesses ? double(l1dMisses) / double(l1dAccesses) : 0.0;
+    }
+
+    /** Stall share of total cycles for @p r (Table I's FXU column). */
+    double
+    stallShare(StallReason r) const
+    {
+        return cycles ? double(stallCycles[size_t(r)]) / double(cycles)
+                      : 0.0;
+    }
+
+    /** Dynamic fraction of instructions with opcode @p op. */
+    double
+    opFraction(isa::Op op) const
+    {
+        return instructions
+                   ? double(opCount[size_t(op)]) / double(instructions)
+                   : 0.0;
+    }
+
+    /** Fraction of isel+max instructions (paper section VI-A). */
+    double
+    predicatedFraction() const
+    {
+        uint64_t n = opCount[size_t(isa::Op::ISEL)] +
+                     opCount[size_t(isa::Op::MAXD)] +
+                     opCount[size_t(isa::Op::MIND)];
+        return instructions ? double(n) / double(instructions) : 0.0;
+    }
+
+    /** Fraction of compare instructions. */
+    double
+    compareFraction() const
+    {
+        uint64_t n = opCount[size_t(isa::Op::CMP)] +
+                     opCount[size_t(isa::Op::CMPL)] +
+                     opCount[size_t(isa::Op::CMPI)] +
+                     opCount[size_t(isa::Op::CMPLI)];
+        return instructions ? double(n) / double(instructions) : 0.0;
+    }
+
+    /** Accumulate @p other into this (for workload-level aggregation). */
+    void add(const Counters &other);
+};
+
+/** One point of the Fig-2 style timeline. */
+struct IntervalSample
+{
+    uint64_t cycle = 0;    ///< end cycle of the interval
+    double ipc = 0.0;
+    double branchMispredictRate = 0.0;
+    double l1dMissRate = 0.0;
+};
+
+} // namespace bp5::sim
+
+#endif // BIOPERF5_SIM_COUNTERS_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Functional executor: architecturally executes one MiniPOWER
+ * instruction per step() and reports what happened so the timing model
+ * can replay the committed stream.
+ */
+
+#ifndef BIOPERF5_SIM_EXEC_H
+#define BIOPERF5_SIM_EXEC_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "isa/encode.h"
+#include "sim/core_state.h"
+#include "sim/memory.h"
+
+namespace bp5::sim {
+
+/** Everything the timing model needs to know about one retired op. */
+struct StepInfo
+{
+    uint64_t pc = 0;
+    uint64_t nextPc = 0;
+    isa::Inst inst;
+
+    bool isBranch = false;
+    bool isCondBranch = false;
+    bool taken = false;      ///< branch direction (unconditional: true)
+    uint64_t target = 0;     ///< branch target when taken
+
+    bool isLoad = false;
+    bool isStore = false;
+    uint64_t memAddr = 0;
+    unsigned memSize = 0;
+
+    bool halted = false;     ///< SYS_EXIT executed
+    int64_t exitCode = 0;
+};
+
+/** Functional MiniPOWER core. */
+class Executor
+{
+  public:
+    Executor(CoreState &state, Memory &mem) : state_(state), mem_(mem) {}
+
+    /**
+     * Fetch, decode and execute the instruction at state.pc, advancing
+     * architectural state.  Decode results are cached per address.
+     * Panics on invalid encodings (the program image is broken).
+     */
+    StepInfo step();
+
+    /** Characters printed by SYS_PUTC / SYS_PUTINT / SYS_PUTHEX. */
+    const std::string &console() const { return console_; }
+    void clearConsole() { console_.clear(); }
+
+    /** Drop the decode cache (after loading a new program image). */
+    void invalidateDecodeCache() { decodeCache_.clear(); }
+
+  private:
+    void execSyscall(StepInfo &info);
+    void setCr0FromResult(uint64_t result);
+    void compare(unsigned bf, bool l64, bool sign, uint64_t a, uint64_t b);
+
+    CoreState &state_;
+    Memory &mem_;
+    std::string console_;
+    std::unordered_map<uint64_t, isa::Inst> decodeCache_;
+};
+
+} // namespace bp5::sim
+
+#endif // BIOPERF5_SIM_EXEC_H

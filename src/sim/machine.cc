@@ -1,0 +1,492 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace bp5::sim {
+
+void
+Counters::add(const Counters &o)
+{
+    cycles += o.cycles;
+    instructions += o.instructions;
+    branches += o.branches;
+    condBranches += o.condBranches;
+    takenBranches += o.takenBranches;
+    mispredDirection += o.mispredDirection;
+    mispredTarget += o.mispredTarget;
+    takenBubbles += o.takenBubbles;
+    btacPredictions += o.btacPredictions;
+    btacCorrect += o.btacCorrect;
+    btacMispredicts += o.btacMispredicts;
+    loads += o.loads;
+    stores += o.stores;
+    l1dAccesses += o.l1dAccesses;
+    l1dMisses += o.l1dMisses;
+    l1iAccesses += o.l1iAccesses;
+    l1iMisses += o.l1iMisses;
+    l2Misses += o.l2Misses;
+    for (size_t i = 0; i < stallCycles.size(); ++i)
+        stallCycles[i] += o.stallCycles[i];
+    for (size_t i = 0; i < opCount.size(); ++i)
+        opCount[i] += o.opCount[i];
+}
+
+/** Mutable scheduling state of the one-pass timing model. */
+struct Machine::TimingState
+{
+    explicit TimingState(const MachineConfig &cfg)
+        : robCommitCycle(cfg.robSize, 0)
+    {
+        unitFree[size_t(isa::Unit::FXU)].assign(cfg.numFXU, 0);
+        unitFree[size_t(isa::Unit::LSU)].assign(cfg.numLSU, 0);
+        unitFree[size_t(isa::Unit::BRU)].assign(cfg.numBRU, 0);
+        unitFree[size_t(isa::Unit::CRU)].assign(cfg.numCRU, 0);
+    }
+
+    // Fetch.
+    uint64_t fetchAvail = 0;       ///< earliest fetch cycle for next inst
+    unsigned fetchedThisCycle = 0;
+    uint64_t fetchCycleCursor = 0; ///< cycle fetchedThisCycle refers to
+    unsigned redirectShadow = 0;   ///< instrs fetched right after a flush
+
+    // Dispatch.
+    uint64_t dispatchCycleCursor = 0;
+    unsigned dispatchedThisCycle = 0;
+
+    // Register readiness.
+    std::array<uint64_t, isa::kNumDepRegs> regReady{};
+    std::array<isa::Unit, isa::kNumDepRegs> regProducer{};
+
+    // Execution units: next free cycle per instance, per class.
+    std::array<std::vector<uint64_t>, 5> unitFree;
+
+    // ROB occupancy: commit cycle of the instruction robSize back.
+    std::vector<uint64_t> robCommitCycle;
+    uint64_t seq = 0; ///< dynamic instruction index
+
+    // Commit.
+    uint64_t lastCommitCycle = 0;
+    unsigned committedThisCycle = 0;
+
+    // POWER5-style completion groups (for the CPI-stack counters):
+    // up to five instructions complete together; cycles without a
+    // group completion are attributed to the slowest member.
+    unsigned groupSize = 0;
+    uint64_t groupMaxCc = 0; ///< slowest member's completion time
+    StallReason groupReason = StallReason::Other;
+    uint64_t lastGroupCommit = 0;
+
+    // Store-to-load forwarding (direct-mapped, tag-checked).
+    struct StoreSlot { uint64_t addr = ~0ULL; uint64_t complete = 0; };
+    std::array<StoreSlot, 4096> storeTable{};
+
+    // Timeline sampling.
+    uint64_t nextSampleCycle = 0;
+    Counters lastSampleCounters;
+};
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), exec_(state_, mem_),
+      l2_(config.l2, nullptr, config.memLatency),
+      l1i_(config.l1i, &l2_),
+      l1d_(config.l1d, &l2_),
+      predictor_(makePredictor(config.predictor, config.predictorEntries,
+                               config.predictorHistoryBits)),
+      btac_(config.btac)
+{
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::loadProgram(const masm::Program &prog)
+{
+    mem_.writeBlock(prog.base, prog.image.data(), prog.image.size());
+    exec_.invalidateDecodeCache();
+}
+
+void
+Machine::reset()
+{
+    state_.reset();
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+    l1i_.resetStats();
+    l1d_.resetStats();
+    l2_.resetStats();
+    predictor_ = makePredictor(config_.predictor, config_.predictorEntries,
+                               config_.predictorHistoryBits);
+    btac_ = Btac(config_.btac);
+    exec_.clearConsole();
+    timing_.reset();
+}
+
+namespace {
+
+/** Classify the producing unit of the critical source operand. */
+StallReason
+unitToReason(isa::Unit u)
+{
+    switch (u) {
+      case isa::Unit::FXU:
+        return StallReason::FXU;
+      case isa::Unit::LSU:
+        return StallReason::LSU;
+      case isa::Unit::BRU:
+      case isa::Unit::CRU:
+        return StallReason::Other;
+      default:
+        return StallReason::Other;
+    }
+}
+
+} // namespace
+
+void
+Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
+                             Counters &c)
+{
+    const isa::Inst &inst = info.inst;
+    const isa::OpInfo &opi = inst.info();
+    const unsigned frontDepth = config_.frontendDepth;
+
+    // ------------------------------------------------------------ fetch
+    uint64_t fc = ts.fetchAvail;
+    if (fc == ts.fetchCycleCursor &&
+        ts.fetchedThisCycle >= config_.fetchWidth) {
+        ++fc;
+    }
+    if (fc != ts.fetchCycleCursor) {
+        ts.fetchCycleCursor = fc;
+        ts.fetchedThisCycle = 0;
+    }
+    ++ts.fetchedThisCycle;
+    ts.fetchAvail = fc;
+
+    // Instruction cache (tag-only; code is touched once per line).
+    ++c.l1iAccesses;
+    uint64_t before = l1i_.stats().misses;
+    unsigned ilat = l1i_.access(info.pc, false);
+    if (l1i_.stats().misses != before) {
+        ++c.l1iMisses;
+        fc += ilat;
+        ts.fetchAvail = fc;
+        ts.fetchCycleCursor = fc;
+        ts.fetchedThisCycle = 1;
+    }
+
+    bool fetch_after_redirect = ts.redirectShadow > 0;
+    if (ts.redirectShadow > 0)
+        --ts.redirectShadow;
+
+    // --------------------------------------------------------- dispatch
+    uint64_t dc = fc + frontDepth;
+    if (dc < ts.dispatchCycleCursor)
+        dc = ts.dispatchCycleCursor;
+    if (dc == ts.dispatchCycleCursor &&
+        ts.dispatchedThisCycle >= config_.dispatchWidth) {
+        ++dc;
+    }
+    // ROB space: the entry robSize back must have committed.
+    uint64_t rob_free = ts.robCommitCycle[ts.seq % config_.robSize];
+    bool rob_limited = false;
+    if (ts.seq >= config_.robSize && dc <= rob_free) {
+        dc = rob_free + 1;
+        rob_limited = true;
+    }
+    if (dc != ts.dispatchCycleCursor) {
+        ts.dispatchCycleCursor = dc;
+        ts.dispatchedThisCycle = 0;
+    }
+    ++ts.dispatchedThisCycle;
+
+    // ---------------------------------------------------------- operands
+    unsigned deps[isa::kMaxDeps];
+    unsigned ndeps = srcDeps(inst, deps);
+    uint64_t rc_cycle = dc;
+    isa::Unit critical_producer = isa::Unit::NONE;
+    for (unsigned i = 0; i < ndeps; ++i) {
+        uint64_t rdy = ts.regReady[deps[i]];
+        if (rdy > rc_cycle) {
+            rc_cycle = rdy;
+            critical_producer = ts.regProducer[deps[i]];
+        }
+    }
+
+    // Store-to-load ordering through the forwarding table.
+    bool load_after_store = false;
+    if (info.isLoad) {
+        auto &slot = ts.storeTable[(info.memAddr >> 3) & 4095];
+        if (slot.addr == (info.memAddr >> 3) && slot.complete > rc_cycle) {
+            rc_cycle = slot.complete;
+            load_after_store = true;
+        }
+    }
+
+    // ------------------------------------------------------------- issue
+    auto &frees = ts.unitFree[size_t(opi.unit)];
+    size_t best = 0;
+    for (size_t i = 1; i < frees.size(); ++i) {
+        if (frees[i] < frees[best])
+            best = i;
+    }
+    uint64_t ic = std::max(rc_cycle, frees[best]);
+    bool unit_contended = frees[best] > rc_cycle;
+
+    // Unit occupancy: divides block the unit; multiplies for 2 cycles.
+    uint64_t occupancy = 1;
+    if (inst.op == isa::Op::DIVD || inst.op == isa::Op::DIVDU)
+        occupancy = opi.latency;
+    else if (inst.op == isa::Op::MULLD || inst.op == isa::Op::MULLI)
+        occupancy = 2;
+    frees[best] = ic + occupancy;
+
+    // ---------------------------------------------------------- complete
+    uint64_t latency = opi.latency;
+    bool dcache_miss = false;
+    if (info.isLoad || info.isStore) {
+        ++c.l1dAccesses;
+        uint64_t dm_before = l1d_.stats().misses;
+        uint64_t l2_before = l2_.stats().misses;
+        unsigned extra = l1d_.access(info.memAddr, info.isStore);
+        if (l1d_.stats().misses != dm_before) {
+            ++c.l1dMisses;
+            dcache_miss = true;
+        }
+        if (l2_.stats().misses != l2_before)
+            ++c.l2Misses;
+        if (info.isLoad) {
+            latency = 1 + extra; // L1 hit => 1 + hitLatency = 2
+        } else {
+            latency = 1; // store completes; writeback is buffered
+        }
+    }
+    uint64_t cc = ic + latency;
+
+    if (info.isStore) {
+        auto &slot = ts.storeTable[(info.memAddr >> 3) & 4095];
+        slot.addr = info.memAddr >> 3;
+        slot.complete = cc;
+    }
+
+    // Register results become available at completion.
+    unsigned dsts[isa::kMaxDeps];
+    unsigned ndsts = dstDeps(inst, dsts);
+    for (unsigned i = 0; i < ndsts; ++i) {
+        ts.regReady[dsts[i]] = cc;
+        ts.regProducer[dsts[i]] = opi.unit;
+    }
+
+    // ---------------------------------------------------------- branches
+    bool redirect = false;
+    if (info.isBranch) {
+        ++c.branches;
+        if (info.taken)
+            ++c.takenBranches;
+
+        Btac::Lookup bl;
+        if (config_.btacEnabled)
+            bl = btac_.lookup(info.pc);
+
+        bool direction_mispredict = false;
+        if (info.isCondBranch) {
+            ++c.condBranches;
+            bool pred = predictor_->predict(info.pc);
+            predictor_->update(info.pc, info.taken);
+            direction_mispredict = pred != info.taken;
+        }
+
+        // Indirect branches: bclr is covered by a (modelled-perfect)
+        // link stack; bcctr needs the BTAC for its target.
+        bool target_mispredict = false;
+        if (inst.op == isa::Op::BCCTR && info.taken &&
+            !(bl.predict && bl.nia == info.target)) {
+            target_mispredict = true;
+        }
+
+        if (config_.btacEnabled) {
+            btac_.update(info.pc, info.taken, info.target, bl);
+            if (bl.predict) {
+                ++c.btacPredictions;
+                bool ok = info.taken && bl.nia == info.target;
+                if (ok)
+                    ++c.btacCorrect;
+                else
+                    ++c.btacMispredicts;
+            }
+        }
+
+        bool btac_wrong = bl.predict &&
+                          !(info.taken && bl.nia == info.target);
+
+        if (direction_mispredict || target_mispredict) {
+            if (direction_mispredict)
+                ++c.mispredDirection;
+            else
+                ++c.mispredTarget;
+            // Flush: refetch after the branch resolves.
+            ts.fetchAvail = cc + 1 + config_.mispredictPenalty;
+            redirect = true;
+        } else if (btac_wrong) {
+            // BTAC steered fetch to the wrong place; same redirect cost.
+            ts.fetchAvail = cc + 1 + config_.mispredictPenalty;
+            redirect = true;
+        } else if (info.taken) {
+            bool btac_covers = bl.predict && bl.nia == info.target;
+            if (btac_covers) {
+                // Target known at fetch: only the fetch-group break.
+                ts.fetchAvail = fc + 1;
+            } else {
+                ts.fetchAvail = fc + 1 + config_.effectiveTakenPenalty();
+                ++c.takenBubbles;
+            }
+        }
+        if (redirect)
+            ts.redirectShadow = config_.commitWidth;
+    }
+
+    // ------------------------------------------------------------ commit
+    uint64_t commit = std::max(cc + 1, ts.lastCommitCycle);
+    if (commit == ts.lastCommitCycle &&
+        ts.committedThisCycle >= config_.commitWidth) {
+        ++commit;
+    }
+    if (commit != ts.lastCommitCycle) {
+        ts.lastCommitCycle = commit;
+        ts.committedThisCycle = 0;
+    }
+    ++ts.committedThisCycle;
+
+    // POWER5-style completion-stall attribution: classify this
+    // instruction's delay cause (PM_CMPLU_STALL_* analogue).
+    StallReason reason;
+    {
+        bool late_in_backend = rc_cycle > dc || unit_contended ||
+                               dcache_miss || load_after_store;
+        if (fetch_after_redirect) {
+            reason = StallReason::Branch;
+        } else if (dcache_miss) {
+            reason = StallReason::LSU;
+        } else if (late_in_backend) {
+            reason = unitToReason(opi.unit);
+            if (reason == StallReason::Other &&
+                critical_producer != isa::Unit::NONE) {
+                reason = unitToReason(critical_producer);
+            }
+        } else if (rob_limited) {
+            reason = StallReason::Other;
+        } else {
+            reason = StallReason::Frontend;
+        }
+    }
+    // Group accounting: groups end at width or at a taken branch
+    // (POWER5 group formation); the gap between group completions is
+    // charged to the slowest member's reason.
+    if (ts.groupSize == 0 || cc >= ts.groupMaxCc) {
+        ts.groupMaxCc = cc;
+        ts.groupReason = reason;
+    }
+    ++ts.groupSize;
+    bool group_ends = ts.groupSize >= config_.commitWidth ||
+                      (info.isBranch && info.taken);
+    if (group_ends) {
+        if (commit > ts.lastGroupCommit + 1 && ts.seq > 0) {
+            c.stallCycles[size_t(ts.groupReason)] +=
+                commit - ts.lastGroupCommit - 1;
+        }
+        ts.lastGroupCommit = commit;
+        ts.groupSize = 0;
+    }
+
+    ts.robCommitCycle[ts.seq % config_.robSize] = commit;
+    ++ts.seq;
+
+    // ---------------------------------------------------------- counters
+    ++c.instructions;
+    ++c.opCount[size_t(inst.op)];
+    if (info.isLoad)
+        ++c.loads;
+    if (info.isStore)
+        ++c.stores;
+    c.cycles = commit;
+}
+
+RunResult
+Machine::run(uint64_t max_instructions, uint64_t interval_cycles)
+{
+    RunResult res;
+    timing_ = std::make_unique<TimingState>(config_);
+    TimingState &ts = *timing_;
+    Counters &c = res.counters;
+    if (interval_cycles)
+        ts.nextSampleCycle = interval_cycles;
+
+    for (uint64_t n = 0; n < max_instructions; ++n) {
+        StepInfo info = exec_.step();
+        scheduleInstruction(info, ts, c);
+
+        if (interval_cycles && c.cycles >= ts.nextSampleCycle) {
+            const Counters &prev = ts.lastSampleCounters;
+            IntervalSample s;
+            s.cycle = c.cycles;
+            uint64_t dc = c.cycles - prev.cycles;
+            uint64_t di = c.instructions - prev.instructions;
+            uint64_t db = c.condBranches - prev.condBranches;
+            uint64_t dm = (c.mispredDirection + c.mispredTarget) -
+                          (prev.mispredDirection + prev.mispredTarget);
+            uint64_t da = c.l1dAccesses - prev.l1dAccesses;
+            uint64_t dmiss = c.l1dMisses - prev.l1dMisses;
+            s.ipc = dc ? double(di) / double(dc) : 0.0;
+            s.branchMispredictRate = db ? double(dm) / double(db) : 0.0;
+            s.l1dMissRate = da ? double(dmiss) / double(da) : 0.0;
+            res.timeline.push_back(s);
+            ts.lastSampleCounters = c;
+            while (ts.nextSampleCycle <= c.cycles)
+                ts.nextSampleCycle += interval_cycles;
+        }
+
+        if (info.halted) {
+            res.halted = true;
+            res.exitCode = info.exitCode;
+            break;
+        }
+    }
+    res.console = exec_.console();
+    return res;
+}
+
+RunResult
+Machine::runFunctional(uint64_t max_instructions)
+{
+    RunResult res;
+    Counters &c = res.counters;
+    for (uint64_t n = 0; n < max_instructions; ++n) {
+        StepInfo info = exec_.step();
+        ++c.instructions;
+        ++c.opCount[size_t(info.inst.op)];
+        if (info.isBranch) {
+            ++c.branches;
+            if (info.isCondBranch)
+                ++c.condBranches;
+            if (info.taken)
+                ++c.takenBranches;
+        }
+        if (info.isLoad)
+            ++c.loads;
+        if (info.isStore)
+            ++c.stores;
+        if (info.halted) {
+            res.halted = true;
+            res.exitCode = info.exitCode;
+            break;
+        }
+    }
+    res.console = exec_.console();
+    return res;
+}
+
+} // namespace bp5::sim

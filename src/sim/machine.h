@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The MiniPOWER machine: functional execution plus a POWER5-class
+ * out-of-order timing model.
+ *
+ * The timing model is trace-driven in a single pass: the functional
+ * executor retires instructions in program order, and each retired
+ * instruction is scheduled through fetch -> decode pipe -> dispatch
+ * (ROB) -> issue (per-class units) -> complete -> in-order commit.
+ * Wrong-path instructions are not executed; their cost appears as the
+ * fetch-redirect penalty of mispredicted branches (see DESIGN.md for
+ * the justification).  The model reproduces the structures the paper
+ * studies: the 2-cycle taken-branch bubble, the optional eight-entry
+ * score-based BTAC, the tournament direction predictor, and a
+ * configurable number of fixed-point units.
+ */
+
+#ifndef BIOPERF5_SIM_MACHINE_H
+#define BIOPERF5_SIM_MACHINE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "masm/assembler.h"
+#include "sim/btac.h"
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+#include "sim/core_state.h"
+#include "sim/exec.h"
+#include "sim/memory.h"
+#include "sim/predictor.h"
+
+namespace bp5::sim {
+
+/** Result of a Machine::run invocation. */
+struct RunResult
+{
+    Counters counters;
+    std::vector<IntervalSample> timeline;
+    bool halted = false;
+    int64_t exitCode = 0;
+    std::string console;
+};
+
+/** A single-core MiniPOWER machine with the POWER5-class timing model. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig());
+    ~Machine();
+
+    Memory &mem() { return mem_; }
+    CoreState &state() { return state_; }
+    const MachineConfig &config() const { return config_; }
+
+    /** Copy a program image into memory (does not change the PC). */
+    void loadProgram(const masm::Program &prog);
+
+    /** Reset architectural state, caches, predictors and counters. */
+    void reset();
+
+    /**
+     * Run with full timing from the current PC until SYS_EXIT or
+     * @p max_instructions.
+     * @param interval_cycles if nonzero, record a timeline sample every
+     *        that many cycles (Fig 2).
+     */
+    RunResult run(uint64_t max_instructions = UINT64_MAX,
+                  uint64_t interval_cycles = 0);
+
+    /**
+     * Run functionally only (no cycle accounting; counters contain
+     * instruction counts but zero cycles).  About an order of magnitude
+     * faster; used for fast-forward and correctness tests.
+     */
+    RunResult runFunctional(uint64_t max_instructions = UINT64_MAX);
+
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l2() const { return l2_; }
+    const Btac &btac() const { return btac_; }
+
+  private:
+    struct TimingState;
+
+    void scheduleInstruction(const StepInfo &info, TimingState &ts,
+                             Counters &c);
+
+    MachineConfig config_;
+    Memory mem_;
+    CoreState state_;
+    Executor exec_;
+
+    Cache l2_;
+    Cache l1i_;
+    Cache l1d_;
+    std::unique_ptr<DirectionPredictor> predictor_;
+    Btac btac_;
+
+    std::unique_ptr<TimingState> timing_;
+};
+
+} // namespace bp5::sim
+
+#endif // BIOPERF5_SIM_MACHINE_H

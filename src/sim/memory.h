@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sparse flat physical memory for the MiniPOWER machine.  Backed by
+ * 4 KiB pages allocated on first touch; all accesses are little-endian.
+ */
+
+#ifndef BIOPERF5_SIM_MEMORY_H
+#define BIOPERF5_SIM_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace bp5::sim {
+
+/** Byte-addressed sparse memory. */
+class Memory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr uint64_t kPageSize = 1ULL << kPageShift;
+
+    uint8_t readU8(uint64_t addr) const;
+    uint16_t readU16(uint64_t addr) const;
+    uint32_t readU32(uint64_t addr) const;
+    uint64_t readU64(uint64_t addr) const;
+
+    void writeU8(uint64_t addr, uint8_t v);
+    void writeU16(uint64_t addr, uint16_t v);
+    void writeU32(uint64_t addr, uint32_t v);
+    void writeU64(uint64_t addr, uint64_t v);
+
+    /** Bulk copy into memory. */
+    void writeBlock(uint64_t addr, const void *src, size_t len);
+
+    /** Bulk copy out of memory. */
+    void readBlock(uint64_t addr, void *dst, size_t len) const;
+
+    /** Number of resident pages (for tests / footprint reports). */
+    size_t residentPages() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    Page &page(uint64_t addr);
+    const Page *pageIfPresent(uint64_t addr) const;
+
+    mutable std::unordered_map<uint64_t, Page> pages_;
+};
+
+} // namespace bp5::sim
+
+#endif // BIOPERF5_SIM_MEMORY_H

@@ -1,0 +1,114 @@
+#include "sim/predictor.h"
+
+#include "support/bitfield.h"
+#include "support/logging.h"
+
+namespace bp5::sim {
+
+namespace {
+
+unsigned
+checkedMaskBits(unsigned entries)
+{
+    BP5_ASSERT(isPow2(entries), "predictor table size must be a power of 2");
+    return floorLog2(entries);
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(unsigned entries)
+    : table_(entries, SatCounter(2, 1)), maskBits_(checkedMaskBits(entries))
+{
+}
+
+unsigned
+BimodalPredictor::index(uint64_t pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & mask(maskBits_));
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc) const
+{
+    return table_[index(pc)].high();
+}
+
+void
+BimodalPredictor::update(uint64_t pc, bool taken)
+{
+    table_[index(pc)].update(taken);
+}
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned historyBits)
+    : table_(entries, SatCounter(2, 1)),
+      maskBits_(checkedMaskBits(entries)), historyBits_(historyBits)
+{
+    BP5_ASSERT(historyBits_ <= maskBits_,
+               "history longer than index width");
+}
+
+unsigned
+GsharePredictor::index(uint64_t pc) const
+{
+    uint64_t h = ghr_ & mask(historyBits_);
+    return static_cast<unsigned>(((pc >> 2) ^ h) & mask(maskBits_));
+}
+
+bool
+GsharePredictor::predict(uint64_t pc) const
+{
+    return table_[index(pc)].high();
+}
+
+void
+GsharePredictor::update(uint64_t pc, bool taken)
+{
+    table_[index(pc)].update(taken);
+    ghr_ = (ghr_ << 1) | (taken ? 1 : 0);
+}
+
+TournamentPredictor::TournamentPredictor(unsigned entries,
+                                         unsigned historyBits)
+    : bimodal_(entries), gshare_(entries, historyBits),
+      selector_(entries, SatCounter(2, 1)),
+      maskBits_(checkedMaskBits(entries))
+{
+}
+
+bool
+TournamentPredictor::predict(uint64_t pc) const
+{
+    unsigned sel = static_cast<unsigned>((pc >> 2) & mask(maskBits_));
+    bool use_gshare = selector_[sel].high();
+    return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void
+TournamentPredictor::update(uint64_t pc, bool taken)
+{
+    bool b = bimodal_.predict(pc);
+    bool g = gshare_.predict(pc);
+    unsigned sel = static_cast<unsigned>((pc >> 2) & mask(maskBits_));
+    if (b != g)
+        selector_[sel].update(g == taken);
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+std::unique_ptr<DirectionPredictor>
+makePredictor(PredictorKind kind, unsigned entries, unsigned historyBits)
+{
+    switch (kind) {
+      case PredictorKind::AlwaysTaken:
+        return std::make_unique<AlwaysTakenPredictor>();
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(entries);
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>(entries, historyBits);
+      case PredictorKind::Tournament:
+        return std::make_unique<TournamentPredictor>(entries, historyBits);
+    }
+    panic("unknown predictor kind");
+}
+
+} // namespace bp5::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder and the
+ * cache/predictor index functions.
+ */
+
+#ifndef BIOPERF5_SUPPORT_BITFIELD_H
+#define BIOPERF5_SUPPORT_BITFIELD_H
+
+#include <cstdint>
+
+namespace bp5 {
+
+/** Mask with the low @p n bits set (n in [0, 64]). */
+constexpr uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/**
+ * Extract bits [lo, lo+width) of @p val (lo is the least-significant
+ * bit of the field).
+ */
+constexpr uint64_t
+bits(uint64_t val, unsigned lo, unsigned width)
+{
+    return (val >> lo) & mask(width);
+}
+
+/** Extract a single bit. */
+constexpr uint64_t
+bit(uint64_t val, unsigned pos)
+{
+    return (val >> pos) & 1;
+}
+
+/** Insert @p field into bits [lo, lo+width) of @p val. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned lo, unsigned width, uint64_t field)
+{
+    uint64_t m = mask(width) << lo;
+    return (val & ~m) | ((field << lo) & m);
+}
+
+/** Sign-extend the low @p width bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(val);
+    uint64_t sign = 1ULL << (width - 1);
+    uint64_t low = val & mask(width);
+    return static_cast<int64_t>((low ^ sign) - sign);
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace bp5
+
+#endif // BIOPERF5_SUPPORT_BITFIELD_H

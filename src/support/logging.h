@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, modelled on gem5's
+ * base/logging.hh conventions: panic() for internal invariant violations,
+ * fatal() for user errors, warn()/inform() for status.
+ */
+
+#ifndef BIOPERF5_SUPPORT_LOGGING_H
+#define BIOPERF5_SUPPORT_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace bp5 {
+
+/**
+ * Print a formatted message tagged "panic:" to stderr and abort().
+ * Call when an internal invariant is violated (a simulator bug),
+ * regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print a formatted message tagged "fatal:" to stderr and exit(1).
+ * Call when the simulation cannot continue due to a user-caused
+ * condition (bad configuration, malformed input file, ...).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a non-fatal "warn:" message to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+} // namespace bp5
+
+/**
+ * Assert that always fires (also in release builds); reports the failing
+ * expression and location through panic().
+ */
+#define BP5_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::bp5::panic("assertion '%s' failed at %s:%d %s", #cond,       \
+                         __FILE__, __LINE__,                               \
+                         ::bp5::strprintf("" __VA_ARGS__).c_str());        \
+        }                                                                  \
+    } while (0)
+
+#endif // BIOPERF5_SUPPORT_LOGGING_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * N-bit saturating counter, the basic building block of the direction
+ * predictors and the BTAC score field.
+ */
+
+#ifndef BIOPERF5_SUPPORT_SATURATING_COUNTER_H
+#define BIOPERF5_SUPPORT_SATURATING_COUNTER_H
+
+#include <cstdint>
+
+namespace bp5 {
+
+/** Saturating up/down counter with a compile-time-free bit width. */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits counter width in bits (1..16)
+     * @param initial initial count
+     */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : max_(static_cast<uint16_t>((1u << bits) - 1)),
+          count_(static_cast<uint16_t>(initial > max_ ? max_ : initial))
+    {}
+
+    void increment() { if (count_ < max_) ++count_; }
+    void decrement() { if (count_ > 0) --count_; }
+
+    /** Move toward taken (true) / not-taken (false). */
+    void update(bool taken) { taken ? increment() : decrement(); }
+
+    unsigned value() const { return count_; }
+    unsigned maxValue() const { return max_; }
+
+    /** MSB set: predict taken / high confidence. */
+    bool high() const { return count_ > max_ / 2; }
+
+    void reset(unsigned v = 0)
+    {
+        count_ = static_cast<uint16_t>(v > max_ ? max_ : v);
+    }
+
+  private:
+    uint16_t max_ = 3;
+    uint16_t count_ = 0;
+};
+
+} // namespace bp5
+
+#endif // BIOPERF5_SUPPORT_SATURATING_COUNTER_H

@@ -1,0 +1,132 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace bp5 {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stdev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    BP5_ASSERT(hi > lo && buckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::add(double x, uint64_t weight)
+{
+    total_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+    } else if (x >= hi_) {
+        overflow_ += weight;
+    } else {
+        double frac = (x - lo_) / (hi_ - lo_);
+        size_t i = static_cast<size_t>(frac * counts_.size());
+        if (i >= counts_.size())
+            i = counts_.size() - 1;
+        counts_[i] += weight;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_));
+    uint64_t acc = underflow_;
+    if (acc > target)
+        return lo_;
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        acc += counts_[i];
+        if (acc > target)
+            return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::toString(const std::string &name) const
+{
+    std::ostringstream os;
+    os << name << ": n=" << total_ << " under=" << underflow_
+       << " over=" << overflow_;
+    return os.str();
+}
+
+double
+IntervalSeries::mean() const
+{
+    return meanOf(values);
+}
+
+double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+geomeanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        BP5_ASSERT(x > 0.0, "geomean of non-positive value");
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace bp5

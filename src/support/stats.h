@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulator's counter
+ * groups and the experiment harness: running scalars, distributions,
+ * and interval series for the Fig-2-style timelines.
+ */
+
+#ifndef BIOPERF5_SUPPORT_STATS_H
+#define BIOPERF5_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bp5 {
+
+/** Running mean / variance / min / max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void reset();
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stdev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with under/overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t buckets);
+
+    void add(double x, uint64_t weight = 1);
+    void reset();
+
+    uint64_t total() const { return total_; }
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+    size_t buckets() const { return counts_.size(); }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+
+    /** Approximate quantile (0 <= q <= 1) from bucket midpoints. */
+    double quantile(double q) const;
+
+    std::string toString(const std::string &name) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * A time series of per-interval samples (e.g. IPC per 100k cycles),
+ * used for the Fig-2 style timeline plots.
+ */
+struct IntervalSeries
+{
+    std::string name;
+    std::vector<double> values;
+
+    void add(double v) { values.push_back(v); }
+    double mean() const;
+};
+
+/** Arithmetic mean of a vector; 0 for empty input. */
+double meanOf(const std::vector<double> &v);
+
+/** Geometric mean of strictly positive values; 0 for empty input. */
+double geomeanOf(const std::vector<double> &v);
+
+} // namespace bp5
+
+#endif // BIOPERF5_SUPPORT_STATS_H

@@ -1,0 +1,123 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace bp5 {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    BP5_ASSERT(!cells.empty(), "empty table row");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::rule()
+{
+    rows_.emplace_back(); // sentinel
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '-' || c == '+' || c == '%' || c == 'x' || c == 'e'))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+TextTable::toString() const
+{
+    std::vector<size_t> widths;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    if (!header_.empty())
+        widen(header_);
+    for (const auto &r : rows_)
+        if (!r.empty())
+            widen(r);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    if (total >= 2)
+        total -= 2;
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            const std::string &c = cells[i];
+            size_t pad = widths[i] - c.size();
+            if (i > 0)
+                os << "  ";
+            if (looksNumeric(c) && i > 0) {
+                os << std::string(pad, ' ') << c;
+            } else {
+                os << c;
+                if (i + 1 < cells.size())
+                    os << std::string(pad, ' ');
+            }
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emitRow(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_) {
+        if (r.empty())
+            os << std::string(total, '-') << "\n";
+        else
+            emitRow(r);
+    }
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    return strprintf("%.*f%%", precision, fraction * 100.0);
+}
+
+} // namespace bp5

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-ASCII table formatter used by the benchmark harness to print
+ * the reproduced paper tables and figure series.
+ */
+
+#ifndef BIOPERF5_SUPPORT_TABLE_H
+#define BIOPERF5_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace bp5 {
+
+/** Column-aligned text table with an optional title and header rule. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row (enables the separator rule). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal rule between data rows. */
+    void rule();
+
+    /** Render with 2-space column gaps; numeric-looking cells align right. */
+    std::string toString() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-point double. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format helper: percentage with a trailing '%'. */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty vector == rule
+};
+
+} // namespace bp5
+
+#endif // BIOPERF5_SUPPORT_TABLE_H

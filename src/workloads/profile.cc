@@ -1,0 +1,29 @@
+#include "workloads/profile.h"
+
+#include <algorithm>
+
+namespace bp5::workloads {
+
+std::vector<FunctionTime>
+Profiler::breakdown() const
+{
+    double total = 0.0;
+    for (const auto &[name, t] : totals_)
+        total += t;
+    std::vector<FunctionTime> out;
+    for (const auto &[name, t] : totals_) {
+        FunctionTime ft;
+        ft.name = name;
+        ft.seconds = t;
+        ft.share = total > 0.0 ? t / total : 0.0;
+        out.push_back(ft);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FunctionTime &a, const FunctionTime &b) {
+                  return a.seconds > b.seconds ||
+                         (a.seconds == b.seconds && a.name < b.name);
+              });
+    return out;
+}
+
+} // namespace bp5::workloads

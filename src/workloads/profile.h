@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scoped wall-clock function profiler for the native application
+ * pipelines — the gprof analogue behind the paper's Fig 1
+ * function-wise breakout.
+ */
+
+#ifndef BIOPERF5_WORKLOADS_PROFILE_H
+#define BIOPERF5_WORKLOADS_PROFILE_H
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bp5::workloads {
+
+/** Time spent in one profiled function. */
+struct FunctionTime
+{
+    std::string name;
+    double seconds = 0.0;
+    double share = 0.0; ///< fraction of total profiled time
+};
+
+/** Accumulates per-function wall time through RAII scopes. */
+class Profiler
+{
+  public:
+    /** RAII scope: charges its lifetime to @p name. */
+    class Scope
+    {
+      public:
+        Scope(Profiler &p, const std::string &name)
+            : profiler_(p), name_(name),
+              start_(std::chrono::steady_clock::now())
+        {
+        }
+
+        ~Scope()
+        {
+            auto end = std::chrono::steady_clock::now();
+            profiler_.add(name_,
+                          std::chrono::duration<double>(end - start_)
+                              .count());
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Profiler &profiler_;
+        std::string name_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    void
+    add(const std::string &name, double seconds)
+    {
+        totals_[name] += seconds;
+    }
+
+    /** Breakdown sorted by descending share. */
+    std::vector<FunctionTime> breakdown() const;
+
+    void reset() { totals_.clear(); }
+
+  private:
+    std::map<std::string, double> totals_;
+};
+
+} // namespace bp5::workloads
+
+#endif // BIOPERF5_WORKLOADS_PROFILE_H

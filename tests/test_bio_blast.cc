@@ -1,0 +1,189 @@
+/**
+ * @file
+ * BLAST-pipeline tests: neighbourhood word index, two-hit seeding,
+ * x-drop ungapped and gapped (SEMI_G_ALIGN) extension, HSP scoring
+ * and e-values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/align.h"
+#include "bio/blast.h"
+#include "bio/generator.h"
+
+namespace bp5::bio {
+namespace {
+
+const SubstitutionMatrix &kM = SubstitutionMatrix::blosum62();
+
+Sequence
+prot(const std::string &letters, const std::string &name = "s")
+{
+    return Sequence(name, Alphabet::Protein, letters);
+}
+
+TEST(WordIndex, ExactWordAlwaysIndexed)
+{
+    BlastParams p;
+    Sequence q = prot("WWWCCC");
+    WordIndex idx(q, kM, p);
+    // WWW scores 33 >= 11 against itself; position 0 must be listed.
+    uint32_t code = WordIndex::encodeWord(q, 0, 3, 20);
+    auto &hits = idx.lookup(code);
+    EXPECT_NE(std::find(hits.begin(), hits.end(), 0u), hits.end());
+}
+
+TEST(WordIndex, NeighborhoodIncludesSimilarWords)
+{
+    BlastParams p;
+    Sequence q = prot("WWW");
+    WordIndex idx(q, kM, p);
+    // WWY scores 11+11+2 = 24 >= 11: a neighbour.
+    Sequence n = prot("WWY");
+    uint32_t code = WordIndex::encodeWord(n, 0, 3, 20);
+    EXPECT_FALSE(idx.lookup(code).empty());
+    // Dissimilar word PPP scores way below threshold.
+    Sequence far = prot("PPP");
+    uint32_t fcode = WordIndex::encodeWord(far, 0, 3, 20);
+    EXPECT_TRUE(idx.lookup(fcode).empty());
+}
+
+TEST(WordIndex, HigherThresholdShrinksIndex)
+{
+    SequenceGenerator g(63);
+    Sequence q = g.random(50, "q");
+    BlastParams loose;
+    loose.neighborThreshold = 10;
+    BlastParams tight;
+    tight.neighborThreshold = 14;
+    WordIndex a(q, kM, loose), b(q, kM, tight);
+    EXPECT_GT(a.totalEntries(), b.totalEntries());
+}
+
+TEST(SemiGapped, IdenticalSuffixExtendsFully)
+{
+    Sequence a = prot("AAAAWWWWCCCC");
+    Sequence b = prot("WWWWCCCC");
+    BlastParams p;
+    size_t ea = 0, eb = 0;
+    int s = semiGappedExtend(a, 4, b, 0, true, kM, p, &ea, &eb);
+    // Full identity extension: 4*W + 4*C = 44 + 36 = 80.
+    EXPECT_EQ(s, 4 * 11 + 4 * 9);
+    EXPECT_EQ(ea, 8u);
+    EXPECT_EQ(eb, 8u);
+}
+
+TEST(SemiGapped, BackwardDirectionWorks)
+{
+    Sequence a = prot("WWWWCCCCAAAA");
+    Sequence b = prot("WWWWCCCC");
+    BlastParams p;
+    int s = semiGappedExtend(a, 8, b, 8, false, kM, p);
+    EXPECT_EQ(s, 4 * 11 + 4 * 9);
+}
+
+TEST(SemiGapped, BridgesASmallGap)
+{
+    // Subject has a 2-residue insertion; gapped extension crosses it.
+    Sequence a = prot("WWWWCCCCHHHH");
+    Sequence b = prot("WWWWCCGGCCHHHH");
+    BlastParams p;
+    int s = semiGappedExtend(a, 0, b, 0, true, kM, p);
+    // At least the flanks minus the gap cost should survive.
+    int flanks = 4 * 11 + 4 * 9 + 4 * 8; // W,C,H runs
+    EXPECT_GT(s, flanks - (10 + 2 * 1) - 10);
+    // And it must beat the x-drop-limited ungapped score.
+    EXPECT_GT(s, 4 * 11 + 2 * 9);
+}
+
+TEST(SemiGapped, XDropTerminatesOnJunk)
+{
+    Sequence a = prot("WWWWPPPPPPPPPPPPPPPP");
+    Sequence b = prot("WWWWGGGGGGGGGGGGGGGG");
+    BlastParams p;
+    int s = semiGappedExtend(a, 0, b, 0, true, kM, p);
+    EXPECT_EQ(s, 4 * 11); // stops after the W run
+}
+
+TEST(Blast, FindsPlantedExactMatch)
+{
+    SequenceGenerator g(65);
+    Sequence query = g.random(80, "q");
+    // Subject: random flanks around an exact copy of query[20..60).
+    Sequence core = query.subseq(20, 40, "core");
+    Sequence left = g.random(30, "l"), right = g.random(30, "r");
+    std::vector<uint8_t> codes = left.codes();
+    codes.insert(codes.end(), core.codes().begin(), core.codes().end());
+    codes.insert(codes.end(), right.codes().begin(),
+                 right.codes().end());
+    Sequence subject("subj", Alphabet::Protein, codes);
+
+    BlastSearch search(query, kM);
+    auto hsps = search.searchSubject(subject, 0, subject.size());
+    ASSERT_FALSE(hsps.empty());
+    const Hsp &h = hsps[0];
+    // The HSP covers (at least most of) the planted region.
+    EXPECT_LE(h.qStart, 25u);
+    EXPECT_GE(h.qEnd, 55u);
+    // Score at least the self-score of the core minus slack.
+    int64_t self = swScore(core, core, kM, BlastParams().gap);
+    EXPECT_GE(h.score, self / 2);
+}
+
+TEST(Blast, NoHitsOnUnrelatedSequences)
+{
+    SequenceGenerator g(67);
+    Sequence query = g.random(60, "q");
+    Sequence subject = g.random(60, "s");
+    BlastSearch search(query, kM);
+    auto hsps = search.searchSubject(subject, 0, subject.size());
+    // Random 60-mers essentially never produce a reportable HSP.
+    EXPECT_TRUE(hsps.empty());
+}
+
+TEST(Blast, SearchRanksHomologsByEvalue)
+{
+    SequenceGenerator g(69);
+    Sequence query = g.random(120, "q");
+    auto db = g.database(query, 30, 80, 200, 4,
+                         MutationModel{0.10, 0.01, 0.01});
+    BlastSearch search(query, kM);
+    auto hits = search.search(db);
+    ASSERT_GE(hits.size(), 4u);
+    // Top hits are homologs.
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_NE(db[hits[i].seqIndex].name().find("_hom"),
+                  std::string::npos)
+            << "rank " << i << " is " << db[hits[i].seqIndex].name();
+    }
+    // E-values ascend.
+    for (size_t i = 1; i < hits.size(); ++i)
+        EXPECT_LE(hits[i - 1].evalue, hits[i].evalue);
+    EXPECT_GT(search.gappedExtensions, 0u);
+    EXPECT_GE(search.ungappedExtensions, search.gappedExtensions);
+}
+
+TEST(Blast, EvalueDecreasesWithScore)
+{
+    BlastParams p;
+    double e1 = p.kParam * 100 * 10000 * std::exp(-p.lambda * 40);
+    double e2 = p.kParam * 100 * 10000 * std::exp(-p.lambda * 80);
+    EXPECT_GT(e1, e2);
+}
+
+TEST(Blast, TwoHitRequirementSuppressesIsolatedWords)
+{
+    // A subject sharing only one 3-residue word with the query should
+    // not trigger any extension.
+    Sequence query = prot("WWWAAAAAAAAAAAAAAAAAAAAA");
+    Sequence subject = prot("PPPPPPPPPPWWWPPPPPPPPPP");
+    BlastSearch search(query, kM);
+    auto hsps = search.searchSubject(subject, 0, subject.size());
+    EXPECT_TRUE(hsps.empty());
+    EXPECT_EQ(search.gappedExtensions, 0u);
+}
+
+} // namespace
+} // namespace bp5::bio

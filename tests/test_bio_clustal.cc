@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Clustalw-pipeline tests: distance matrices, UPGMA/NJ guide trees,
+ * profile alignment and the full progressive MSA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/clustal.h"
+#include "bio/generator.h"
+
+namespace bp5::bio {
+namespace {
+
+const GapPenalty kGap{10, 1};
+
+std::string
+degap(const std::string &row)
+{
+    std::string out;
+    for (char c : row)
+        if (c != '-')
+            out += c;
+    return out;
+}
+
+TEST(Distance, IdenticalSequencesAreZero)
+{
+    Sequence a("a", Alphabet::Protein, "ARNDCQEGHILK");
+    auto d = pairwiseDistances({a, a}, SubstitutionMatrix::blosum62(),
+                               kGap);
+    EXPECT_DOUBLE_EQ(d.at(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(d.at(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+}
+
+TEST(Distance, RelatedCloserThanRandom)
+{
+    SequenceGenerator g(31);
+    Sequence a = g.random(150, "a");
+    Sequence rel = g.mutate(a, MutationModel{0.1, 0.01, 0.01}, "rel");
+    Sequence rnd = g.random(150, "rnd");
+    auto d = pairwiseDistances({a, rel, rnd},
+                               SubstitutionMatrix::blosum62(), kGap);
+    EXPECT_LT(d.at(0, 1), d.at(0, 2));
+}
+
+TEST(Upgma, JoinsClosestPairFirst)
+{
+    // Distances: (0,1) close, 2 far.
+    DistanceMatrix d(3);
+    d.set(0, 1, 0.1);
+    d.set(0, 2, 0.8);
+    d.set(1, 2, 0.8);
+    GuideTree t = upgmaTree(d);
+    // Expect node 3 = join(0,1) then root joins with leaf 2.
+    ASSERT_EQ(t.nodes.size(), 5u);
+    const auto &first = t.nodes[3];
+    int l = t.nodes[size_t(first.left)].leaf;
+    int r = t.nodes[size_t(first.right)].leaf;
+    EXPECT_TRUE((l == 0 && r == 1) || (l == 1 && r == 0));
+    EXPECT_EQ(t.root, 4);
+}
+
+TEST(Upgma, SingleLeaf)
+{
+    DistanceMatrix d(1);
+    GuideTree t = upgmaTree(d);
+    EXPECT_EQ(t.root, 0);
+    EXPECT_TRUE(t.isLeaf(0));
+}
+
+TEST(Nj, ProducesFullBinaryTree)
+{
+    SequenceGenerator g(33);
+    auto fam = g.family(6, 80, MutationModel{0.15, 0.02, 0.02});
+    auto d = pairwiseDistances(fam, SubstitutionMatrix::blosum62(),
+                               kGap);
+    GuideTree t = njTree(d);
+    // 6 leaves -> 5 internal nodes.
+    EXPECT_EQ(t.nodes.size(), 11u);
+    size_t leaves = 0;
+    for (const auto &n : t.nodes)
+        leaves += n.leaf >= 0;
+    EXPECT_EQ(leaves, 6u);
+}
+
+TEST(Tree, NewickContainsAllNames)
+{
+    DistanceMatrix d(3);
+    d.set(0, 1, 0.2);
+    d.set(0, 2, 0.6);
+    d.set(1, 2, 0.6);
+    GuideTree t = upgmaTree(d);
+    std::string nwk = t.newick({"alpha", "beta", "gamma"});
+    EXPECT_NE(nwk.find("alpha"), std::string::npos);
+    EXPECT_NE(nwk.find("beta"), std::string::npos);
+    EXPECT_NE(nwk.find("gamma"), std::string::npos);
+    EXPECT_EQ(nwk.back(), ';');
+}
+
+TEST(ProfileAlign, IdenticalSequencesNoGaps)
+{
+    Sequence a("a", Alphabet::Protein, "ARNDCQEG");
+    Profile pa(a, 0), pb(a, 1);
+    Profile merged = Profile::align(pa, pb,
+                                    SubstitutionMatrix::blosum62(), kGap);
+    ASSERT_EQ(merged.members(), 2u);
+    EXPECT_EQ(merged.rows()[0], "ARNDCQEG");
+    EXPECT_EQ(merged.rows()[1], "ARNDCQEG");
+}
+
+TEST(ProfileAlign, InsertionCreatesGap)
+{
+    Sequence a("a", Alphabet::Protein, "ARNDCQEG");
+    Sequence b("b", Alphabet::Protein, "ARNDWWCQEG");
+    Profile merged = Profile::align(Profile(a, 0), Profile(b, 1),
+                                    SubstitutionMatrix::blosum62(), kGap);
+    EXPECT_EQ(merged.columns(), 10u);
+    EXPECT_NE(merged.rows()[0].find('-'), std::string::npos);
+    EXPECT_EQ(degap(merged.rows()[0]), "ARNDCQEG");
+    EXPECT_EQ(degap(merged.rows()[1]), "ARNDWWCQEG");
+}
+
+TEST(Msa, PreservesResiduesAndShape)
+{
+    SequenceGenerator g(35);
+    auto fam = g.family(5, 60, MutationModel{0.15, 0.03, 0.03});
+    Msa msa = progressiveAlign(fam, SubstitutionMatrix::blosum62(),
+                               kGap);
+    ASSERT_EQ(msa.rows.size(), fam.size());
+    size_t len = msa.rows[0].size();
+    for (size_t i = 0; i < fam.size(); ++i) {
+        EXPECT_EQ(msa.rows[i].size(), len) << "ragged MSA";
+        EXPECT_EQ(degap(msa.rows[i]), fam[i].letters())
+            << "row " << i << " lost residues";
+    }
+}
+
+TEST(Msa, IdenticalFamilyAlignsPerfectly)
+{
+    Sequence a("a", Alphabet::Protein, "ARNDCQEGHILKMFPSTWYV");
+    std::vector<Sequence> fam = {a, a, a, a};
+    Msa msa = progressiveAlign(fam, SubstitutionMatrix::blosum62(),
+                               kGap);
+    for (const std::string &r : msa.rows)
+        EXPECT_EQ(r, a.letters());
+}
+
+TEST(Msa, SumOfPairsScoreBeatsRandomColumns)
+{
+    SequenceGenerator g(37);
+    auto fam = g.family(4, 50, MutationModel{0.1, 0.02, 0.02});
+    Msa msa = progressiveAlign(fam, SubstitutionMatrix::blosum62(),
+                               kGap);
+    int64_t sps = msa.sumOfPairsScore(SubstitutionMatrix::blosum62(),
+                                      kGap);
+    EXPECT_GT(sps, 0);
+}
+
+TEST(Msa, NjAndUpgmaBothWork)
+{
+    SequenceGenerator g(39);
+    auto fam = g.family(5, 40, MutationModel{0.2, 0.02, 0.02});
+    Msa u = progressiveAlign(fam, SubstitutionMatrix::blosum62(), kGap,
+                             TreeMethod::Upgma);
+    Msa n = progressiveAlign(fam, SubstitutionMatrix::blosum62(), kGap,
+                             TreeMethod::NeighborJoining);
+    for (size_t i = 0; i < fam.size(); ++i) {
+        EXPECT_EQ(degap(u.rows[i]), fam[i].letters());
+        EXPECT_EQ(degap(n.rows[i]), fam[i].letters());
+    }
+}
+
+} // namespace
+} // namespace bp5::bio

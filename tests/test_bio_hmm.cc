@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Plan7 HMM tests: model construction, Viterbi scoring behaviour,
+ * Forward >= Viterbi, and hmmpfam-style search ranking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bio/generator.h"
+#include "bio/hmm.h"
+
+namespace bp5::bio {
+namespace {
+
+std::vector<Sequence>
+makeFamily(uint64_t seed, size_t count = 8, size_t len = 80)
+{
+    SequenceGenerator g(seed);
+    return g.family(count, len, MutationModel{0.12, 0.02, 0.02});
+}
+
+TEST(Plan7, BuildFromUngappedAlignment)
+{
+    std::vector<std::string> rows = {"ARNDC", "ARNDC", "ARNEC"};
+    Plan7Model m = Plan7Model::fromAlignment(rows, Alphabet::Protein);
+    EXPECT_EQ(m.length(), 5u);
+    // Column 1 is all-A: the A emission dominates.
+    unsigned A = static_cast<unsigned>(
+        encodeResidue(Alphabet::Protein, 'A'));
+    unsigned W = static_cast<unsigned>(
+        encodeResidue(Alphabet::Protein, 'W'));
+    EXPECT_GT(m.matchScore(1, A), m.matchScore(1, W));
+    EXPECT_GT(m.matchScore(1, A), 0);
+}
+
+TEST(Plan7, GappyColumnsBecomeInserts)
+{
+    std::vector<std::string> rows = {
+        "AR--NDC",
+        "AR--NDC",
+        "ARWW-DC",
+        "AR--NDC",
+    };
+    Plan7Model m = Plan7Model::fromAlignment(rows, Alphabet::Protein);
+    // Columns 3-4 have 25% occupancy: not match states.
+    EXPECT_EQ(m.length(), 7u - 2u);
+}
+
+TEST(Plan7, ConsensusScoresAboveRandom)
+{
+    auto fam = makeFamily(41);
+    Plan7Model m = Plan7Model::fromFamily(fam);
+    SequenceGenerator g(43);
+    Sequence random = g.random(fam[0].size(), "rnd");
+    int32_t famScore = m.viterbi(fam[0]);
+    int32_t rndScore = m.viterbi(random);
+    EXPECT_GT(famScore, rndScore);
+    EXPECT_GT(famScore, 0);
+}
+
+TEST(Plan7, ViterbiHandlesShortAndLongSequences)
+{
+    auto fam = makeFamily(45, 6, 60);
+    Plan7Model m = Plan7Model::fromFamily(fam);
+    SequenceGenerator g(47);
+    // Much shorter and much longer sequences still score finitely.
+    Sequence shortSeq = g.random(10, "short");
+    Sequence longSeq = g.random(400, "long");
+    EXPECT_GT(m.viterbi(shortSeq), Plan7Model::kNegInf);
+    EXPECT_GT(m.viterbi(longSeq), Plan7Model::kNegInf);
+}
+
+TEST(Plan7, ForwardAtLeastViterbi)
+{
+    auto fam = makeFamily(49, 6, 50);
+    Plan7Model m = Plan7Model::fromFamily(fam);
+    for (size_t i = 0; i < 3; ++i) {
+        double fwd = m.forward(fam[i]);
+        int32_t vit = m.viterbi(fam[i]);
+        // Forward sums over paths: >= best path (small rounding slack).
+        EXPECT_GE(fwd, double(vit) - 2.0 * Plan7Model::kScale);
+    }
+}
+
+TEST(Plan7, DeterministicScores)
+{
+    auto fam = makeFamily(51);
+    Plan7Model m1 = Plan7Model::fromFamily(fam);
+    Plan7Model m2 = Plan7Model::fromFamily(fam);
+    EXPECT_EQ(m1.viterbi(fam[2]), m2.viterbi(fam[2]));
+}
+
+TEST(HmmSearch, RanksHomologsFirst)
+{
+    auto fam = makeFamily(53, 8, 70);
+    Plan7Model m = Plan7Model::fromFamily(fam);
+
+    SequenceGenerator g(55);
+    std::vector<Sequence> db;
+    // 3 family members + 10 unrelated sequences.
+    db.push_back(fam[0]);
+    db.push_back(fam[3]);
+    db.push_back(fam[6]);
+    for (int i = 0; i < 10; ++i)
+        db.push_back(g.random(70, "rnd" + std::to_string(i)));
+
+    auto hits = hmmSearch(m, db, Plan7Model::kNegInf + 1);
+    ASSERT_GE(hits.size(), 3u);
+    // The three homologs occupy the top three ranks.
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_LT(hits[i].seqIndex, 3u) << "rank " << i;
+}
+
+TEST(HmmSearch, ThresholdFilters)
+{
+    auto fam = makeFamily(57, 6, 60);
+    Plan7Model m = Plan7Model::fromFamily(fam);
+    SequenceGenerator g(59);
+    std::vector<Sequence> db = {fam[0], g.random(60, "rnd")};
+    int32_t famScore = m.viterbi(fam[0]);
+    auto hits = hmmSearch(m, db, famScore); // only the homolog passes
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].seqIndex, 0u);
+}
+
+TEST(HmmSearch, SortedByScore)
+{
+    auto fam = makeFamily(61, 10, 60);
+    Plan7Model m = Plan7Model::fromFamily(fam);
+    auto hits = hmmSearch(m, fam, Plan7Model::kNegInf + 1);
+    for (size_t i = 1; i < hits.size(); ++i)
+        EXPECT_GE(hits[i - 1].score, hits[i].score);
+}
+
+} // namespace
+} // namespace bp5::bio

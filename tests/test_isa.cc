@@ -1,0 +1,348 @@
+/**
+ * @file
+ * ISA tests: encode/decode round trips over every opcode and operand
+ * pattern, metadata consistency, dependency extraction, disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/encode.h"
+#include "isa/inst.h"
+
+namespace bp5::isa {
+namespace {
+
+bool
+sameFields(const Inst &a, const Inst &b)
+{
+    return a.op == b.op && a.rt == b.rt && a.ra == b.ra && a.rb == b.rb &&
+           a.imm == b.imm && a.bf == b.bf && a.l64 == b.l64 &&
+           a.bo == b.bo && a.bi == b.bi && a.spr == b.spr &&
+           a.rc == b.rc && a.lk == b.lk && a.aa == b.aa;
+}
+
+void
+roundTrip(const Inst &inst)
+{
+    uint32_t w = encode(inst);
+    Inst d = decode(w);
+    EXPECT_TRUE(sameFields(inst, d))
+        << "round trip failed for " << disassemble(inst) << " vs "
+        << disassemble(d);
+}
+
+TEST(OpTable, MnemonicLookupIsInverse)
+{
+    for (unsigned i = 0; i < unsigned(Op::NUM_OPS); ++i) {
+        Op op = static_cast<Op>(i);
+        EXPECT_EQ(opFromMnemonic(mnemonic(op)), op);
+    }
+    EXPECT_EQ(opFromMnemonic("bogus"), Op::INVALID);
+}
+
+TEST(OpTable, UnitsAreConsistent)
+{
+    for (unsigned i = 0; i < unsigned(Op::NUM_OPS); ++i) {
+        const OpInfo &info = opInfo(static_cast<Op>(i));
+        if (info.isLoad || info.isStore) {
+            EXPECT_EQ(info.unit, Unit::LSU) << info.mnemonic;
+        }
+        if (info.isBranch) {
+            EXPECT_EQ(info.unit, Unit::BRU) << info.mnemonic;
+        }
+        EXPECT_FALSE(info.isLoad && info.isStore) << info.mnemonic;
+        if (info.isCondBranch) {
+            EXPECT_TRUE(info.isBranch) << info.mnemonic;
+        }
+    }
+}
+
+TEST(Encode, RoundTripDForm)
+{
+    roundTrip(mkD(Op::ADDI, 3, 1, -32768));
+    roundTrip(mkD(Op::ADDI, 31, 31, 32767));
+    roundTrip(mkD(Op::ADDIS, 5, 0, 0x1234));
+    roundTrip(mkD(Op::MULLI, 7, 8, -42));
+    roundTrip(mkD(Op::ORI, 0, 0, 0));       // nop
+    roundTrip(mkD(Op::ORI, 9, 10, 0xffff)); // unsigned immediate
+    roundTrip(mkD(Op::XORI, 9, 10, 0x8000));
+    roundTrip(mkD(Op::LWZ, 3, 4, 128));
+    roundTrip(mkD(Op::LD, 3, 4, -8));
+    roundTrip(mkD(Op::LBZ, 30, 29, 255));
+    roundTrip(mkD(Op::LHA, 2, 1, -2));
+    roundTrip(mkD(Op::STD, 3, 1, 16));
+    roundTrip(mkD(Op::STB, 3, 1, -1));
+}
+
+TEST(Encode, RoundTripAndiSetsRc)
+{
+    Inst i = mkD(Op::ANDI_RC, 4, 5, 0xff);
+    uint32_t w = encode(i);
+    Inst d = decode(w);
+    EXPECT_EQ(d.op, Op::ANDI_RC);
+    EXPECT_TRUE(d.rc);
+}
+
+TEST(Encode, RoundTripXForm)
+{
+    for (Op op : {Op::ADD, Op::SUBF, Op::MULLD, Op::DIVD, Op::DIVDU,
+                  Op::AND, Op::ANDC, Op::OR, Op::ORC, Op::XOR, Op::NOR,
+                  Op::NAND, Op::EQV, Op::SLD, Op::SRD, Op::SRAD,
+                  Op::MAXD, Op::MIND}) {
+        roundTrip(mkX(op, 3, 4, 5));
+        roundTrip(mkX(op, 31, 0, 31, true));
+    }
+    for (Op op : {Op::NEG, Op::EXTSB, Op::EXTSH, Op::EXTSW, Op::CNTLZD})
+        roundTrip(mkUnary(op, 12, 13));
+}
+
+TEST(Encode, RoundTripIndexedMem)
+{
+    for (Op op : {Op::LBZX, Op::LHZX, Op::LHAX, Op::LWZX, Op::LWAX,
+                  Op::LDX, Op::STBX, Op::STHX, Op::STWX, Op::STDX}) {
+        roundTrip(mkX(op, 6, 7, 8));
+    }
+}
+
+TEST(Encode, RoundTripShiftImmediates)
+{
+    roundTrip(mkShImm(Op::SLDI, 3, 4, 0));
+    roundTrip(mkShImm(Op::SLDI, 3, 4, 31));
+    roundTrip(mkShImm(Op::SLDI, 3, 4, 32));
+    roundTrip(mkShImm(Op::SLDI, 3, 4, 63));
+    roundTrip(mkShImm(Op::SRDI, 5, 6, 3));
+    roundTrip(mkShImm(Op::SRADI, 7, 8, 49));
+}
+
+TEST(Encode, RoundTripCompares)
+{
+    roundTrip(mkCmp(Op::CMP, 0, 1, 2, true));
+    roundTrip(mkCmp(Op::CMP, 7, 30, 31, false));
+    roundTrip(mkCmp(Op::CMPL, 3, 4, 5, true));
+    roundTrip(mkCmpi(Op::CMPI, 2, 9, -100, true));
+    roundTrip(mkCmpi(Op::CMPLI, 1, 9, 100, false));
+}
+
+TEST(Encode, RoundTripIsel)
+{
+    roundTrip(mkIsel(3, 4, 5, 0));
+    roundTrip(mkIsel(3, 4, 5, crBitIndex(7, CR_SO)));
+    roundTrip(mkIsel(0, 31, 1, crBitIndex(2, CR_GT)));
+}
+
+TEST(Encode, RoundTripBranches)
+{
+    roundTrip(mkB(0));
+    roundTrip(mkB(-4));
+    roundTrip(mkB(4 * ((1 << 23) - 1)));
+    roundTrip(mkB(1024, true)); // bl
+    roundTrip(mkBc(BO_COND_TRUE, crBitIndex(0, CR_EQ), 64));
+    roundTrip(mkBc(BO_COND_FALSE, crBitIndex(1, CR_LT), -128));
+    roundTrip(mkBc(BO_DNZ, 0, -4));
+    roundTrip(mkBc(BO_ALWAYS, 0, 32760));
+    roundTrip(mkBclr());
+    roundTrip(mkBclr(BO_COND_TRUE, 5));
+    roundTrip(mkBcctr());
+}
+
+TEST(Encode, RoundTripCrAndSpr)
+{
+    for (Op op : {Op::CRAND, Op::CROR, Op::CRXOR, Op::CRNOR})
+        roundTrip(mkCrOp(op, 1, 2, 3));
+    roundTrip(mkMtspr(SPR_LR, 0));
+    roundTrip(mkMtspr(SPR_CTR, 9));
+    roundTrip(mkMfspr(4, SPR_LR));
+    roundTrip(mkMfcr(11));
+    roundTrip(mkSc());
+}
+
+TEST(Encode, AliasesProduceExpectedOps)
+{
+    EXPECT_EQ(mkLi(4, 7).op, Op::ADDI);
+    EXPECT_EQ(mkLi(4, 7).ra, 0);
+    EXPECT_EQ(mkMr(4, 7).op, Op::OR);
+    EXPECT_EQ(mkNop().op, Op::ORI);
+}
+
+TEST(Decode, InvalidWordRejected)
+{
+    EXPECT_FALSE(decode(0x00000000).valid());
+    EXPECT_FALSE(decode(0xffffffff).valid());
+    // Primary 31 with an unassigned xo.
+    EXPECT_FALSE(decode(31u << 26 | (999u << 1)).valid());
+}
+
+TEST(Decode, BranchOffsetsSignExtend)
+{
+    Inst b = decode(encode(mkB(-8)));
+    EXPECT_EQ(b.imm, -8);
+    Inst bc = decode(encode(mkBc(BO_COND_TRUE, 2, -32768)));
+    EXPECT_EQ(bc.imm, -32768);
+}
+
+TEST(Deps, ArithSourcesAndDest)
+{
+    unsigned v[kMaxDeps];
+    Inst add = mkX(Op::ADD, 3, 4, 5);
+    EXPECT_EQ(srcDeps(add, v), 2u);
+    EXPECT_EQ(v[0], 4u);
+    EXPECT_EQ(v[1], 5u);
+    EXPECT_EQ(dstDeps(add, v), 1u);
+    EXPECT_EQ(v[0], 3u);
+}
+
+TEST(Deps, RaZeroIsNotADependencyForBaseForms)
+{
+    unsigned v[kMaxDeps];
+    Inst li = mkLi(3, 5); // addi r3, 0, 5
+    EXPECT_EQ(srcDeps(li, v), 0u);
+    Inst load = mkD(Op::LWZ, 3, 0, 16);
+    EXPECT_EQ(srcDeps(load, v), 0u);
+    // But r0 is a real source for non-base forms.
+    Inst add = mkX(Op::ADD, 3, 0, 5);
+    EXPECT_EQ(srcDeps(add, v), 2u);
+}
+
+TEST(Deps, StoreReadsValueAndBase)
+{
+    unsigned v[kMaxDeps];
+    Inst st = mkD(Op::STD, 3, 1, 8);
+    unsigned n = srcDeps(st, v);
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(v[0], 1u); // base
+    EXPECT_EQ(v[1], 3u); // data
+    EXPECT_EQ(dstDeps(st, v), 0u);
+}
+
+TEST(Deps, CompareWritesCrField)
+{
+    unsigned v[kMaxDeps];
+    Inst c = mkCmp(Op::CMP, 3, 4, 5);
+    EXPECT_EQ(dstDeps(c, v), 1u);
+    EXPECT_EQ(v[0], depCrField(3));
+}
+
+TEST(Deps, CondBranchReadsCrField)
+{
+    unsigned v[kMaxDeps];
+    Inst bc = mkBc(BO_COND_TRUE, crBitIndex(2, CR_GT), 8);
+    EXPECT_EQ(srcDeps(bc, v), 1u);
+    EXPECT_EQ(v[0], depCrField(2));
+}
+
+TEST(Deps, CtrLoopBranch)
+{
+    unsigned v[kMaxDeps];
+    Inst bdnz = mkBc(BO_DNZ, 0, -4);
+    EXPECT_EQ(srcDeps(bdnz, v), 1u);
+    EXPECT_EQ(v[0], unsigned(DEP_CTR));
+    EXPECT_EQ(dstDeps(bdnz, v), 1u);
+    EXPECT_EQ(v[0], unsigned(DEP_CTR));
+}
+
+TEST(Deps, IselReadsCrField)
+{
+    unsigned v[kMaxDeps];
+    Inst is = mkIsel(3, 4, 5, crBitIndex(1, CR_LT));
+    unsigned n = srcDeps(is, v);
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(v[2], depCrField(1));
+}
+
+TEST(Deps, RecordFormWritesCr0)
+{
+    unsigned v[kMaxDeps];
+    Inst add = mkX(Op::ADD, 3, 4, 5, true);
+    unsigned n = dstDeps(add, v);
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(v[1], depCrField(0));
+}
+
+TEST(Disasm, RendersCoreForms)
+{
+    EXPECT_EQ(disassemble(mkD(Op::ADDI, 3, 1, 16)), "addi r3, r1, 16");
+    EXPECT_EQ(disassemble(mkD(Op::LWZ, 5, 4, 8)), "lwz r5, 8(r4)");
+    EXPECT_EQ(disassemble(mkX(Op::MAXD, 3, 4, 5)), "maxd r3, r4, r5");
+    EXPECT_EQ(disassemble(mkIsel(3, 4, 5, 2)), "isel r3, r4, r5, 2");
+    EXPECT_EQ(disassemble(mkBclr()), "blr");
+    EXPECT_EQ(disassemble(mkSc()), "sc");
+    EXPECT_EQ(disassemble(mkMtspr(SPR_CTR, 7)), "mtctr r7");
+}
+
+TEST(Disasm, BranchTargetsUsePc)
+{
+    std::string s = disassemble(mkB(16), 0x1000);
+    EXPECT_NE(s.find("0x1010"), std::string::npos);
+}
+
+TEST(Disasm, InvalidInstruction)
+{
+    EXPECT_EQ(disassemble(Inst{}), "<invalid>");
+}
+
+/** Property: every opcode round-trips with generic operand sweeps. */
+class EncodeSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodeSweep, AllOpsRoundTrip)
+{
+    unsigned i = GetParam();
+    Op op = static_cast<Op>(i);
+    const OpInfo &info = opInfo(op);
+    Inst inst;
+    inst.op = op;
+    switch (info.format) {
+      case Format::DArith:
+        inst.rt = 7; inst.ra = 9;
+        inst.imm = immIsUnsigned(op) ? 513 : -513;
+        if (op == Op::ANDI_RC)
+            inst.rc = true;
+        break;
+      case Format::DCmp:
+        inst.bf = 3; inst.ra = 11; inst.imm = immIsUnsigned(op) ? 5 : -5;
+        break;
+      case Format::X: case Format::XO:
+        inst.rt = 1; inst.ra = 2; inst.rb = 3;
+        break;
+      case Format::XShImm:
+        inst.rt = 1; inst.ra = 2; inst.rb = 7;
+        break;
+      case Format::XCmp:
+        inst.bf = 5; inst.ra = 6; inst.rb = 7;
+        break;
+      case Format::AIsel:
+        inst.rt = 1; inst.ra = 2; inst.rb = 3; inst.bi = 17;
+        break;
+      case Format::I:
+        inst.imm = 4096;
+        break;
+      case Format::BForm:
+        inst.bo = BO_COND_TRUE; inst.bi = 6; inst.imm = -64;
+        break;
+      case Format::XLBranch:
+        inst.bo = BO_ALWAYS;
+        break;
+      case Format::XLCr:
+        inst.rt = 4; inst.ra = 5; inst.rb = 6;
+        break;
+      case Format::XFX:
+        inst.rt = 8; inst.spr = SPR_LR;
+        break;
+      case Format::XMfcr:
+        inst.rt = 8;
+        break;
+      case Format::SCForm:
+        break;
+    }
+    uint32_t w = encode(inst);
+    Inst d = decode(w);
+    EXPECT_TRUE(sameFields(inst, d)) << mnemonic(op);
+    // And disassembly never crashes.
+    EXPECT_FALSE(disassemble(d).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeSweep,
+                         ::testing::Range(0u, unsigned(Op::NUM_OPS)));
+
+} // namespace
+} // namespace bp5::isa

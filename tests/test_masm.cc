@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Assembler tests: syntax forms, labels, directives, aliases, errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "isa/disasm.h"
+#include "isa/encode.h"
+#include "masm/assembler.h"
+
+namespace bp5::masm {
+namespace {
+
+using isa::Op;
+
+isa::Inst
+instAt(const Program &p, size_t index)
+{
+    uint32_t w;
+    std::memcpy(&w, p.image.data() + index * 4, 4);
+    return isa::decode(w);
+}
+
+TEST(Masm, BasicArithmetic)
+{
+    Program p = assemble("addi r3, r1, 16\nadd r4, r3, r3\n");
+    ASSERT_EQ(p.size(), 8u);
+    isa::Inst i0 = instAt(p, 0);
+    EXPECT_EQ(i0.op, Op::ADDI);
+    EXPECT_EQ(i0.rt, 3);
+    EXPECT_EQ(i0.ra, 1);
+    EXPECT_EQ(i0.imm, 16);
+    EXPECT_EQ(instAt(p, 1).op, Op::ADD);
+}
+
+TEST(Masm, LoadStoreSyntax)
+{
+    Program p = assemble("lwz r5, 8(r4)\nstd r6, -16(r1)\nld r7, (r2)\n");
+    isa::Inst l = instAt(p, 0);
+    EXPECT_EQ(l.op, Op::LWZ);
+    EXPECT_EQ(l.rt, 5);
+    EXPECT_EQ(l.ra, 4);
+    EXPECT_EQ(l.imm, 8);
+    isa::Inst s = instAt(p, 1);
+    EXPECT_EQ(s.op, Op::STD);
+    EXPECT_EQ(s.imm, -16);
+    EXPECT_EQ(instAt(p, 2).imm, 0);
+}
+
+TEST(Masm, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        li r3, 10
+        mtctr r3
+    loop:
+        addi r4, r4, 1
+        bdnz loop
+        blr
+    )");
+    // bdnz is the 4th instruction (index 3); loop is index 2.
+    isa::Inst bdnz = instAt(p, 3);
+    EXPECT_EQ(bdnz.op, Op::BC);
+    EXPECT_EQ(bdnz.bo, isa::BO_DNZ);
+    EXPECT_EQ(bdnz.imm, -4);
+    EXPECT_EQ(p.symbol("loop"), p.base + 8);
+}
+
+TEST(Masm, ForwardReferences)
+{
+    Program p = assemble("b done\nnop\ndone: blr\n");
+    EXPECT_EQ(instAt(p, 0).imm, 8);
+}
+
+TEST(Masm, ConditionalAliases)
+{
+    Program p = assemble(R"(
+        cmpdi cr1, r3, 0
+        beq cr1, out
+        bne out
+        blt cr2, out
+        bgt out
+        ble cr3, out
+        bge out
+    out: blr
+    )");
+    isa::Inst beq = instAt(p, 1);
+    EXPECT_EQ(beq.bo, isa::BO_COND_TRUE);
+    EXPECT_EQ(beq.bi, isa::crBitIndex(1, isa::CR_EQ));
+    isa::Inst bne = instAt(p, 2);
+    EXPECT_EQ(bne.bo, isa::BO_COND_FALSE);
+    EXPECT_EQ(bne.bi, isa::crBitIndex(0, isa::CR_EQ));
+    isa::Inst blt = instAt(p, 3);
+    EXPECT_EQ(blt.bo, isa::BO_COND_TRUE);
+    EXPECT_EQ(blt.bi, isa::crBitIndex(2, isa::CR_LT));
+    isa::Inst bge = instAt(p, 6);
+    EXPECT_EQ(bge.bo, isa::BO_COND_FALSE);
+    EXPECT_EQ(bge.bi, isa::crBitIndex(0, isa::CR_LT));
+}
+
+TEST(Masm, CompareAliases)
+{
+    Program p = assemble("cmpd r3, r4\ncmpw cr5, r3, r4\ncmpldi r3, 7\n");
+    isa::Inst c0 = instAt(p, 0);
+    EXPECT_EQ(c0.op, Op::CMP);
+    EXPECT_TRUE(c0.l64);
+    EXPECT_EQ(c0.bf, 0);
+    isa::Inst c1 = instAt(p, 1);
+    EXPECT_FALSE(c1.l64);
+    EXPECT_EQ(c1.bf, 5);
+    isa::Inst c2 = instAt(p, 2);
+    EXPECT_EQ(c2.op, Op::CMPLI);
+}
+
+TEST(Masm, MaxMinIselMnemonics)
+{
+    Program p = assemble("max r3, r4, r5\nmin r6, r7, r8\n"
+                         "isel r3, r4, r5, 6\nmaxd r1, r2, r3\n");
+    EXPECT_EQ(instAt(p, 0).op, Op::MAXD);
+    EXPECT_EQ(instAt(p, 1).op, Op::MIND);
+    isa::Inst is = instAt(p, 2);
+    EXPECT_EQ(is.op, Op::ISEL);
+    EXPECT_EQ(is.bi, 6);
+    EXPECT_EQ(instAt(p, 3).op, Op::MAXD);
+}
+
+TEST(Masm, SprAliases)
+{
+    Program p = assemble("mtctr r3\nmflr r4\nmtlr r5\nmfctr r6\nmfcr r7\n");
+    EXPECT_EQ(instAt(p, 0).spr, isa::SPR_CTR);
+    EXPECT_EQ(instAt(p, 1).op, Op::MFSPR);
+    EXPECT_EQ(instAt(p, 1).spr, isa::SPR_LR);
+    EXPECT_EQ(instAt(p, 4).op, Op::MFCR);
+}
+
+TEST(Masm, DataDirectives)
+{
+    Program p = assemble(".dword 0x1122334455667788\n.word 0xaabbccdd\n"
+                         ".half 0x1234\n.byte 0x56\n");
+    EXPECT_EQ(p.size(), 15u);
+    EXPECT_EQ(p.image[0], 0x88);
+    EXPECT_EQ(p.image[7], 0x11);
+    EXPECT_EQ(p.image[8], 0xdd);
+    EXPECT_EQ(p.image[12], 0x34);
+    EXPECT_EQ(p.image[14], 0x56);
+}
+
+TEST(Masm, SpaceAndAlign)
+{
+    Program p = assemble("nop\n.align 16\ndata: .space 8\nend: nop\n");
+    EXPECT_EQ(p.symbol("data"), p.base + 16);
+    EXPECT_EQ(p.symbol("end"), p.base + 24);
+}
+
+TEST(Masm, CommentsAndBlankLines)
+{
+    Program p = assemble("# full comment line\n\nnop ; trailing\n  \n");
+    EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(Masm, NumericBranchTarget)
+{
+    Program p = assemble("b 0x10010\n", 0x10000);
+    EXPECT_EQ(instAt(p, 0).imm, 0x10);
+}
+
+TEST(Masm, ScAndSyscallSetup)
+{
+    Program p = assemble("li r0, 0\nli r3, 42\nsc\n");
+    EXPECT_EQ(instAt(p, 2).op, Op::SC);
+}
+
+TEST(MasmErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate r1\n"), AsmError);
+}
+
+TEST(MasmErrors, UndefinedLabel)
+{
+    EXPECT_THROW(assemble("b nowhere\n"), AsmError);
+}
+
+TEST(MasmErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("a: nop\na: nop\n"), AsmError);
+}
+
+TEST(MasmErrors, BadRegister)
+{
+    EXPECT_THROW(assemble("addi r32, r0, 1\n"), AsmError);
+    EXPECT_THROW(assemble("addi x3, r0, 1\n"), AsmError);
+}
+
+TEST(MasmErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("add r1, r2\n"), AsmError);
+    EXPECT_THROW(assemble("li r1\n"), AsmError);
+}
+
+TEST(Masm, RoundTripThroughDisassembler)
+{
+    // Disassembled canonical forms reassemble to identical words.
+    const char *src =
+        "addi r3, r1, 16\nmaxd r3, r4, r5\nisel r3, r4, r5, 2\n"
+        "lwz r5, 8(r4)\nstd r6, -16(r1)\nsldi r3, r4, 3\n";
+    Program p1 = assemble(src);
+    std::string round;
+    for (size_t i = 0; i < p1.size() / 4; ++i)
+        round += isa::disassemble(instAt(p1, i)) + "\n";
+    Program p2 = assemble(round);
+    EXPECT_EQ(p1.image, p2.image);
+}
+
+TEST(Masm, AssembleInstVector)
+{
+    std::vector<isa::Inst> v = {isa::mkLi(3, 1), isa::mkSc()};
+    Program p = assemble(v, 0x2000);
+    EXPECT_EQ(p.base, 0x2000u);
+    EXPECT_EQ(p.size(), 8u);
+    EXPECT_EQ(instAt(p, 0).op, Op::ADDI);
+}
+
+} // namespace
+} // namespace bp5::masm

@@ -1,0 +1,591 @@
+/**
+ * @file
+ * Compiler tests: IR construction/verification, if-conversion semantics
+ * and rejection rules, codegen correctness for every variant (executed
+ * on the simulator), register-allocator spilling, DCE.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mpc/compiler.h"
+#include "sim/machine.h"
+
+namespace bp5::mpc {
+namespace {
+
+/** Compile and run @p fn with the given args; returns the exit value. */
+int64_t
+runCompiled(const Compiled &c, const std::vector<int64_t> &args,
+            sim::Machine *mOut = nullptr)
+{
+    sim::Machine m;
+    masm::Program p = c.program(0x10000);
+    m.loadProgram(p);
+    m.state().pc = p.base;
+    m.state().gpr[1] = 0x100000; // stack for spills
+    for (size_t i = 0; i < args.size(); ++i)
+        m.state().gpr[3 + i] = static_cast<uint64_t>(args[i]);
+    sim::RunResult r = m.runFunctional(10'000'000);
+    EXPECT_TRUE(r.halted) << "compiled program did not halt";
+    if (mOut)
+        mOut->state() = m.state();
+    return r.exitCode;
+}
+
+int64_t
+compileAndRun(const Function &fn, const CompileOptions &opts,
+              const std::vector<int64_t> &args)
+{
+    return runCompiled(compile(fn, opts), args);
+}
+
+/** fn(a, b) = a + 2*b - 7 */
+Function
+makeArith()
+{
+    Function fn;
+    fn.name = "arith";
+    IrBuilder b(fn);
+    b.declareArgs(2);
+    int entry = b.newBlock("entry");
+    b.setBlock(entry);
+    VReg two_b = b.muli(1, 2);
+    VReg sum = b.add(0, two_b);
+    VReg res = b.addi(sum, -7);
+    b.ret(res);
+    return fn;
+}
+
+/** fn(a, b) = max(a, b), written with a branch hammock. */
+Function
+makeBranchyMax()
+{
+    Function fn;
+    fn.name = "branchy_max";
+    IrBuilder b(fn);
+    b.declareArgs(2);
+    int entry = b.newBlock("entry");
+    int then = b.newBlock("then");
+    int join = b.newBlock("join");
+    b.setBlock(entry);
+    b.br(Cond::LT, 0, 1, then, join); // if (a < b)
+    b.setBlock(then);
+    b.copyTo(0, 1);                   //   a = b
+    b.jump(join);
+    b.setBlock(join);
+    b.ret(0);
+    return fn;
+}
+
+/** fn(a, b) = (a < b) ? a+10 : b*3, a diamond. */
+Function
+makeDiamond()
+{
+    Function fn;
+    fn.name = "diamond";
+    IrBuilder b(fn);
+    b.declareArgs(2);
+    int entry = b.newBlock("entry");
+    int t = b.newBlock("t");
+    int f = b.newBlock("f");
+    int join = b.newBlock("join");
+    b.setBlock(entry);
+    VReg r = b.iconst(0);
+    b.br(Cond::LT, 0, 1, t, f);
+    b.setBlock(t);
+    VReg v1 = b.addi(0, 10);
+    b.copyTo(r, v1);
+    b.jump(join);
+    b.setBlock(f);
+    VReg v2 = b.muli(1, 3);
+    b.copyTo(r, v2);
+    b.jump(join);
+    b.setBlock(join);
+    b.ret(r);
+    return fn;
+}
+
+/** Sum of n doublewords at ptr (args: ptr, n). */
+Function
+makeSumLoop()
+{
+    Function fn;
+    fn.name = "sum";
+    IrBuilder b(fn);
+    b.declareArgs(2);
+    int entry = b.newBlock("entry");
+    int head = b.newBlock("head");
+    int body = b.newBlock("body");
+    int done = b.newBlock("done");
+    b.setBlock(entry);
+    VReg sum = b.iconst(0);
+    VReg i = b.iconst(0);
+    b.jump(head);
+    b.setBlock(head);
+    b.br(Cond::LT, i, 1, body, done);
+    b.setBlock(body);
+    VReg off = b.shli(i, 3);
+    VReg v = b.loadx(0, off);
+    VReg ns = b.add(sum, v);
+    b.copyTo(sum, ns);
+    VReg ni = b.addi(i, 1);
+    b.copyTo(i, ni);
+    b.jump(head);
+    b.setBlock(done);
+    b.ret(sum);
+    return fn;
+}
+
+/** Hammock whose then-side contains a load (safe flag configurable). */
+Function
+makeLoadHammock(bool safe)
+{
+    // fn(p, a, b) = (a < b) ? mem[p] : a
+    Function fn;
+    fn.name = "load_hammock";
+    IrBuilder b(fn);
+    b.declareArgs(3);
+    int entry = b.newBlock("entry");
+    int then = b.newBlock("then");
+    int join = b.newBlock("join");
+    b.setBlock(entry);
+    VReg res = b.addi(1, 0); // res = a
+    b.br(Cond::LT, 1, 2, then, join);
+    b.setBlock(then);
+    VReg v = b.load(0, 0, 8, true, safe);
+    b.copyTo(res, v);
+    b.jump(join);
+    b.setBlock(join);
+    b.ret(res);
+    return fn;
+}
+
+/** Hammock with a store in it: never convertible. */
+Function
+makeStoreHammock()
+{
+    // fn(p, a, b): if (a < b) mem[p] = a; return a.
+    Function fn;
+    fn.name = "store_hammock";
+    IrBuilder b(fn);
+    b.declareArgs(3);
+    int entry = b.newBlock("entry");
+    int then = b.newBlock("then");
+    int join = b.newBlock("join");
+    b.setBlock(entry);
+    b.br(Cond::LT, 1, 2, then, join);
+    b.setBlock(then);
+    b.store(1, 0, 0);
+    b.jump(join);
+    b.setBlock(join);
+    b.ret(1);
+    return fn;
+}
+
+TEST(Ir, VerifyAcceptsWellFormed)
+{
+    Function fn = makeArith();
+    fn.verify();
+    EXPECT_EQ(fn.blocks.size(), 1u);
+    EXPECT_FALSE(fn.dump().empty());
+}
+
+TEST(Ir, SuccessorsAndPredecessors)
+{
+    Function fn = makeBranchyMax();
+    auto succ = fn.successors(0);
+    ASSERT_EQ(succ.size(), 2u);
+    EXPECT_EQ(succ[0], 1);
+    EXPECT_EQ(succ[1], 2);
+    auto preds = fn.predecessors(2);
+    EXPECT_EQ(preds.size(), 2u);
+}
+
+TEST(Ir, NegateCond)
+{
+    EXPECT_EQ(negate(Cond::LT), Cond::GE);
+    EXPECT_EQ(negate(Cond::EQ), Cond::NE);
+    EXPECT_EQ(negate(negate(Cond::GT)), Cond::GT);
+}
+
+TEST(Codegen, ArithFunction)
+{
+    Function fn = makeArith();
+    EXPECT_EQ(compileAndRun(fn, CompileOptions(), {5, 3}), 5 + 6 - 7);
+    EXPECT_EQ(compileAndRun(fn, CompileOptions(), {-10, 2}), -13);
+}
+
+TEST(Codegen, BranchyMaxBaseline)
+{
+    Function fn = makeBranchyMax();
+    CompileOptions opts; // baseline: branches stay
+    Compiled c = compile(fn, opts);
+    EXPECT_GT(c.cg.branchesEmitted, 0u);
+    EXPECT_EQ(c.cg.iselEmitted, 0u);
+    EXPECT_EQ(c.cg.maxEmitted, 0u);
+    EXPECT_EQ(runCompiled(c, {3, 9}), 9);
+    EXPECT_EQ(runCompiled(c, {9, 3}), 9);
+    EXPECT_EQ(runCompiled(c, {-5, -9}), -5);
+}
+
+TEST(IfConvert, TriangleBecomesSelect)
+{
+    Function fn = makeBranchyMax();
+    CompileOptions opts = optionsFor(Variant::CompIsel);
+    Compiled c = compile(fn, opts);
+    EXPECT_EQ(c.ifc.converted, 1u);
+    EXPECT_GT(c.cg.iselEmitted, 0u);
+    EXPECT_EQ(c.cg.branchesEmitted, 0u);
+    EXPECT_EQ(runCompiled(c, {3, 9}), 9);
+    EXPECT_EQ(runCompiled(c, {9, 3}), 9);
+}
+
+TEST(IfConvert, MaxPatternModeEmitsMax)
+{
+    Function fn = makeBranchyMax();
+    CompileOptions opts = optionsFor(Variant::CompMax);
+    Compiled c = compile(fn, opts);
+    EXPECT_EQ(c.ifc.converted, 1u);
+    EXPECT_GT(c.cg.maxEmitted, 0u);
+    EXPECT_EQ(c.cg.branchesEmitted, 0u);
+    EXPECT_EQ(runCompiled(c, {3, 9}), 9);
+    EXPECT_EQ(runCompiled(c, {-3, -9}), -3);
+}
+
+TEST(IfConvert, MaxPatternModeRejectsNonMaxHammock)
+{
+    Function fn = makeDiamond();
+    CompileOptions opts = optionsFor(Variant::CompMax);
+    Compiled c = compile(fn, opts);
+    EXPECT_EQ(c.ifc.converted, 0u);
+    EXPECT_EQ(c.ifc.rejectedPattern, 1u);
+    EXPECT_GT(c.cg.branchesEmitted, 0u);
+    EXPECT_EQ(runCompiled(c, {1, 5}), 11);
+    EXPECT_EQ(runCompiled(c, {5, 1}), 3);
+}
+
+TEST(IfConvert, DiamondBecomesSelect)
+{
+    Function fn = makeDiamond();
+    CompileOptions opts = optionsFor(Variant::CompIsel);
+    Compiled c = compile(fn, opts);
+    EXPECT_EQ(c.ifc.converted, 1u);
+    EXPECT_EQ(c.cg.branchesEmitted, 0u);
+    EXPECT_EQ(runCompiled(c, {1, 5}), 11);
+    EXPECT_EQ(runCompiled(c, {5, 1}), 3);
+    EXPECT_EQ(runCompiled(c, {4, 4}), 12);
+}
+
+TEST(IfConvert, UnsafeLoadBlocksConversion)
+{
+    Function fn = makeLoadHammock(false);
+    CompileOptions opts = optionsFor(Variant::CompIsel);
+    Compiled c = compile(fn, opts);
+    EXPECT_EQ(c.ifc.converted, 0u);
+    EXPECT_EQ(c.ifc.rejectedUnsafe, 1u);
+    EXPECT_GT(c.cg.branchesEmitted, 0u);
+}
+
+TEST(IfConvert, SafeLoadConverts)
+{
+    Function fn = makeLoadHammock(true);
+    CompileOptions opts = optionsFor(Variant::CompIsel);
+    Compiled c = compile(fn, opts);
+    EXPECT_EQ(c.ifc.converted, 1u);
+    EXPECT_EQ(c.cg.branchesEmitted, 0u);
+
+    // Execute: place 777 at address 0x9000.
+    sim::Machine m;
+    masm::Program p = c.program(0x10000);
+    m.loadProgram(p);
+    m.mem().writeU64(0x9000, 777);
+    m.state().pc = p.base;
+    m.state().gpr[1] = 0x100000;
+    m.state().gpr[3] = 0x9000;
+    m.state().gpr[4] = 1;
+    m.state().gpr[5] = 2;
+    EXPECT_EQ(m.runFunctional().exitCode, 777);
+}
+
+TEST(IfConvert, StoreNeverConverts)
+{
+    Function fn = makeStoreHammock();
+    CompileOptions opts = optionsFor(Variant::CompIsel);
+    Compiled c = compile(fn, opts);
+    EXPECT_EQ(c.ifc.converted, 0u);
+    EXPECT_EQ(c.ifc.rejectedUnsafe, 1u);
+}
+
+TEST(IfConvert, LoopBranchesAreNotHammocks)
+{
+    Function fn = makeSumLoop();
+    CompileOptions opts = optionsFor(Variant::CompIsel);
+    Compiled c = compile(fn, opts);
+    // The loop back edge must survive if-conversion.
+    EXPECT_GT(c.cg.branchesEmitted, 0u);
+}
+
+TEST(Codegen, SumLoopExecutes)
+{
+    Function fn = makeSumLoop();
+    sim::Machine m;
+    Compiled c = compile(fn, CompileOptions());
+    masm::Program p = c.program(0x10000);
+    m.loadProgram(p);
+    for (int i = 0; i < 10; ++i)
+        m.mem().writeU64(0x9000 + 8 * i, static_cast<uint64_t>(i * i));
+    m.state().pc = p.base;
+    m.state().gpr[1] = 0x100000;
+    m.state().gpr[3] = 0x9000;
+    m.state().gpr[4] = 10;
+    EXPECT_EQ(m.runFunctional().exitCode, 285);
+}
+
+TEST(Codegen, LargeConstants)
+{
+    for (int64_t k : {int64_t(0x12345), int64_t(-0x12345),
+                      int64_t(0x123456789abcLL), INT64_MIN / 2,
+                      int64_t(0x7fffffff), int64_t(-1)}) {
+        Function fn;
+        fn.name = "konst";
+        IrBuilder b(fn);
+        b.declareArgs(1);
+        b.setBlock(b.newBlock("entry"));
+        VReg c = b.iconst(k);
+        VReg r = b.add(0, c);
+        b.ret(r);
+        EXPECT_EQ(compileAndRun(fn, CompileOptions(), {5}), k + 5)
+            << "constant " << k;
+    }
+}
+
+TEST(Codegen, SelectArithFallbackCorrect)
+{
+    // No isel, no max: selects lower to branch-free mask arithmetic.
+    for (Cond c : {Cond::LT, Cond::LE, Cond::GT, Cond::GE, Cond::EQ,
+                   Cond::NE}) {
+        Function fn;
+        fn.name = "selfb";
+        IrBuilder b(fn);
+        b.declareArgs(4);
+        b.setBlock(b.newBlock("entry"));
+        VReg r = b.select(c, 0, 1, 2, 3);
+        b.ret(r);
+        CompileOptions opts; // neither isel nor max
+        Compiled comp = compile(fn, opts);
+        EXPECT_EQ(comp.cg.branchesEmitted, 0u);
+        auto expect = [&](int64_t a, int64_t bb) {
+            bool t = false;
+            switch (c) {
+              case Cond::LT: t = a < bb; break;
+              case Cond::LE: t = a <= bb; break;
+              case Cond::GT: t = a > bb; break;
+              case Cond::GE: t = a >= bb; break;
+              case Cond::EQ: t = a == bb; break;
+              case Cond::NE: t = a != bb; break;
+            }
+            return t ? 100 : 200;
+        };
+        for (auto [a, bb] : {std::pair<int64_t, int64_t>{1, 2},
+                             {2, 1}, {3, 3}, {-5, 4}, {4, -5}}) {
+            EXPECT_EQ(runCompiled(comp, {a, bb, 100, 200}),
+                      expect(a, bb))
+                << "cond " << int(c) << " a=" << a << " b=" << bb;
+        }
+    }
+}
+
+TEST(Codegen, AllVariantsAgreeOnMaxKernel)
+{
+    // Every variant computes the same max.
+    for (int v = 0; v < int(Variant::NUM_VARIANTS); ++v) {
+        Variant var = static_cast<Variant>(v);
+        Function fn = makeBranchyMax(); // hand IR differs only by Select
+        if (variantUsesHandIr(var)) {
+            Function hand;
+            hand.name = "hand_max";
+            IrBuilder b(hand);
+            b.declareArgs(2);
+            b.setBlock(b.newBlock("entry"));
+            VReg r = b.max(0, 1);
+            b.ret(r);
+            fn = hand;
+        }
+        CompileOptions opts = optionsFor(var);
+        Compiled c = compile(fn, opts);
+        EXPECT_EQ(runCompiled(c, {3, 9}), 9) << variantName(var);
+        EXPECT_EQ(runCompiled(c, {9, 3}), 9) << variantName(var);
+        EXPECT_EQ(runCompiled(c, {-7, -7}), -7) << variantName(var);
+    }
+}
+
+TEST(Codegen, SpillingManyLiveValues)
+{
+    // 30 simultaneously-live values exceed the 18 allocatable regs.
+    Function fn;
+    fn.name = "spill";
+    IrBuilder b(fn);
+    b.declareArgs(1);
+    b.setBlock(b.newBlock("entry"));
+    std::vector<VReg> vals;
+    for (int i = 0; i < 30; ++i)
+        vals.push_back(b.addi(0, i + 1)); // arg + (i+1)
+    VReg sum = b.iconst(0);
+    for (VReg v : vals) {
+        VReg ns = b.add(sum, v);
+        b.copyTo(sum, ns);
+    }
+    b.ret(sum);
+    Compiled c = compile(fn, CompileOptions());
+    EXPECT_GT(c.cg.spilledRegs, 0u);
+    // sum of (arg + i) for i=1..30 = 30*arg + 465
+    EXPECT_EQ(runCompiled(c, {2}), 30 * 2 + 465);
+    EXPECT_EQ(runCompiled(c, {0}), 465);
+}
+
+TEST(Passes, DceRemovesDeadCode)
+{
+    Function fn;
+    fn.name = "dead";
+    IrBuilder b(fn);
+    b.declareArgs(1);
+    b.setBlock(b.newBlock("entry"));
+    b.iconst(42);              // dead
+    VReg live = b.addi(0, 1);
+    b.muli(live, 100);         // dead
+    b.ret(live);
+    unsigned removed = deadCodeElim(fn);
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(compileAndRun(fn, CompileOptions(), {7}), 8);
+}
+
+TEST(Passes, DceKeepsStoresAndSelectChains)
+{
+    Function fn;
+    fn.name = "keep";
+    IrBuilder b(fn);
+    b.declareArgs(2);
+    b.setBlock(b.newBlock("entry"));
+    b.store(1, 0, 0);
+    b.ret(1);
+    EXPECT_EQ(deadCodeElim(fn), 0u);
+}
+
+TEST(Passes, RemoveUnreachableBlocks)
+{
+    Function fn = makeBranchyMax();
+    CompileOptions opts = optionsFor(Variant::CompIsel);
+    // Run the passes manually to observe the block count drop.
+    ifConvert(fn, opts.ifcOpts);
+    size_t before = fn.blocks.size();
+    removeUnreachableBlocks(fn);
+    EXPECT_LT(fn.blocks.size(), before);
+    fn.verify();
+}
+
+TEST(Passes, ClassifySelect)
+{
+    IrInst s;
+    s.op = IrOp::Select;
+    s.a = 0;
+    s.b = 1;
+    s.cond = Cond::LT;
+    s.x = 1;
+    s.y = 0; // (a<b)?b:a = max
+    EXPECT_EQ(classifySelect(s), IrOp::Max);
+    s.x = 0;
+    s.y = 1; // (a<b)?a:b = min
+    EXPECT_EQ(classifySelect(s), IrOp::Min);
+    s.cond = Cond::GT; // (a>b)?a:b = max
+    EXPECT_EQ(classifySelect(s), IrOp::Max);
+    s.cond = Cond::EQ;
+    EXPECT_EQ(classifySelect(s), IrOp::Select);
+    s.cond = Cond::LT;
+    s.x = 2; // unrelated register
+    EXPECT_EQ(classifySelect(s), IrOp::Select);
+}
+
+TEST(Variants, NamesAndOptions)
+{
+    EXPECT_STREQ(variantName(Variant::Baseline), "Original");
+    EXPECT_STREQ(variantName(Variant::Combination), "Combination");
+    EXPECT_FALSE(optionsFor(Variant::Baseline).cg.emitIsel);
+    EXPECT_TRUE(optionsFor(Variant::HandIsel).cg.emitIsel);
+    EXPECT_TRUE(optionsFor(Variant::CompMax).ifcOpts.onlyMaxPatterns);
+    EXPECT_TRUE(variantUsesHandIr(Variant::HandMax));
+    EXPECT_FALSE(variantUsesHandIr(Variant::CompIsel));
+}
+
+/** Property sweep: branchy-max vs all predicated variants on a grid. */
+class VariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantSweep, SelectInToLoopMatchesReference)
+{
+    // Kernel: running max of a[i] + i over an array (select inside a
+    // loop) — a miniature of the DP recurrences.
+    Variant var = static_cast<Variant>(GetParam());
+    Function fn;
+    fn.name = "runmax";
+    IrBuilder b(fn);
+    b.declareArgs(2); // ptr, n
+    int entry = b.newBlock("entry");
+    int head = b.newBlock("head");
+    int body = b.newBlock("body");
+    int then = b.newBlock("then");
+    int cont = b.newBlock("cont");
+    int done = b.newBlock("done");
+    b.setBlock(entry);
+    VReg best = b.iconst(-1000000);
+    VReg i = b.iconst(0);
+    b.jump(head);
+    b.setBlock(head);
+    b.br(Cond::LT, i, 1, body, done);
+    b.setBlock(body);
+    VReg off = b.shli(i, 3);
+    VReg v = b.loadx(0, off);
+    VReg vi = b.add(v, i);
+    if (variantUsesHandIr(var)) {
+        VReg nb = b.max(best, vi);
+        b.copyTo(best, nb);
+        b.jump(cont);
+        // keep CFG shape: then block unreachable
+        b.setBlock(then);
+        b.jump(cont);
+    } else {
+        b.br(Cond::GT, vi, best, then, cont);
+        b.setBlock(then);
+        b.copyTo(best, vi);
+        b.jump(cont);
+    }
+    b.setBlock(cont);
+    VReg ni = b.addi(i, 1);
+    b.copyTo(i, ni);
+    b.jump(head);
+    b.setBlock(done);
+    b.ret(best);
+
+    Compiled c = compile(fn, optionsFor(var));
+
+    sim::Machine m;
+    masm::Program p = c.program(0x10000);
+    m.loadProgram(p);
+    int64_t expect = -1000000;
+    for (int k = 0; k < 64; ++k) {
+        int64_t val = (k * 37) % 101 - 50;
+        m.mem().writeU64(0x9000 + 8 * k, static_cast<uint64_t>(val));
+        expect = std::max(expect, val + k);
+    }
+    m.state().pc = p.base;
+    m.state().gpr[1] = 0x100000;
+    m.state().gpr[3] = 0x9000;
+    m.state().gpr[4] = 64;
+    sim::RunResult r = m.runFunctional(1'000'000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.exitCode, expect) << variantName(var);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantSweep,
+                         ::testing::Range(0, int(Variant::NUM_VARIANTS)));
+
+} // namespace
+} // namespace bp5::mpc

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the support library: bitfields, RNG, statistics,
+ * saturating counters and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/bitfield.h"
+#include "support/logging.h"
+#include "support/random.h"
+#include "support/saturating_counter.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace bp5 {
+namespace {
+
+TEST(Bitfield, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(Bitfield, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bit(0x80000000u, 31), 1u);
+    EXPECT_EQ(bit(0x80000000u, 30), 0u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 8, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffff, 8, 8, 0), 0xffff00ffu);
+    // Field wider than value is masked.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1f), 0xfu);
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0x0, 16), 0);
+    EXPECT_EQ(sext(0xffffffffffffffffULL, 64), -1);
+}
+
+TEST(Bitfield, Pow2Helpers)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(24));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformMean)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng r(13);
+    std::vector<double> w = {0.0, 1.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[r.weighted(w)];
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(double(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(RunningStat, Moments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndQuantile)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i % 10 + 0.5);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.bucketCount(i), 10u);
+    EXPECT_NEAR(h.quantile(0.5), 5.5, 1.0);
+}
+
+TEST(Histogram, OutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(SatCounter, SaturatesBothEnds)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.value(), 0u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.high());
+    c.decrement();
+    c.decrement();
+    EXPECT_FALSE(c.high());
+}
+
+TEST(SatCounter, InitialClamped)
+{
+    SatCounter c(2, 99);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(IntervalSeries, AccumulatesAndAverages)
+{
+    IntervalSeries s;
+    s.name = "ipc";
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.0);
+    EXPECT_EQ(s.values.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(IntervalSeries{}.mean(), 0.0);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(meanOf({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_NEAR(geomeanOf({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("Title");
+    t.header({"App", "IPC"});
+    t.row({"Blast", "0.90"});
+    t.row({"Clustalw", "1.10"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("Blast"), std::string::npos);
+    EXPECT_NE(s.find("0.90"), std::string::npos);
+    // Numeric column is right-aligned under the header width.
+    EXPECT_NE(s.find("Clustalw"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.258, 1), "25.8%");
+}
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d s=%s", 5, "y"), "x=5 s=y");
+}
+
+} // namespace
+} // namespace bp5

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_btac.dir/ablation_btac.cc.o"
+  "CMakeFiles/ablation_btac.dir/ablation_btac.cc.o.d"
+  "ablation_btac"
+  "ablation_btac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_btac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

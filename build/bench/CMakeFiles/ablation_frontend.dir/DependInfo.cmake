@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_frontend.cc" "bench/CMakeFiles/ablation_frontend.dir/ablation_frontend.cc.o" "gcc" "bench/CMakeFiles/ablation_frontend.dir/ablation_frontend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/bp5_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bp5_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/bp5_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/bp5_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bp5_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/bp5_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bp5_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bp5_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_kernels_bench.dir/bio_kernels_bench.cc.o"
+  "CMakeFiles/bio_kernels_bench.dir/bio_kernels_bench.cc.o.d"
+  "bio_kernels_bench"
+  "bio_kernels_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_kernels_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_phylip.dir/extension_phylip.cc.o"
+  "CMakeFiles/extension_phylip.dir/extension_phylip.cc.o.d"
+  "extension_phylip"
+  "extension_phylip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_phylip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

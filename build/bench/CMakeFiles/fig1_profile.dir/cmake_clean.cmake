@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_profile.dir/fig1_profile.cc.o"
+  "CMakeFiles/fig1_profile.dir/fig1_profile.cc.o.d"
+  "fig1_profile"
+  "fig1_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

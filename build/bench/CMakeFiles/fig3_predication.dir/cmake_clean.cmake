@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_predication.dir/fig3_predication.cc.o"
+  "CMakeFiles/fig3_predication.dir/fig3_predication.cc.o.d"
+  "fig3_predication"
+  "fig3_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_btac.dir/fig4_btac.cc.o"
+  "CMakeFiles/fig4_btac.dir/fig4_btac.cc.o.d"
+  "fig4_btac"
+  "fig4_btac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_btac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

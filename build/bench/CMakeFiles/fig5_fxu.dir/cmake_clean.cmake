@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fxu.dir/fig5_fxu.cc.o"
+  "CMakeFiles/fig5_fxu.dir/fig5_fxu.cc.o.d"
+  "fig5_fxu"
+  "fig5_fxu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fxu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_speed_bench.dir/sim_speed_bench.cc.o"
+  "CMakeFiles/sim_speed_bench.dir/sim_speed_bench.cc.o.d"
+  "sim_speed_bench"
+  "sim_speed_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_speed_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_branch_stats.dir/table2_branch_stats.cc.o"
+  "CMakeFiles/table2_branch_stats.dir/table2_branch_stats.cc.o.d"
+  "table2_branch_stats"
+  "table2_branch_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_branch_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustalw_pipeline.dir/clustalw_pipeline.cpp.o"
+  "CMakeFiles/clustalw_pipeline.dir/clustalw_pipeline.cpp.o.d"
+  "clustalw_pipeline"
+  "clustalw_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustalw_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

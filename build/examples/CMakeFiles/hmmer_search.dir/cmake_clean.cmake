@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmer_search.dir/hmmer_search.cpp.o"
+  "CMakeFiles/hmmer_search.dir/hmmer_search.cpp.o.d"
+  "hmmer_search"
+  "hmmer_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmer_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/align.cc" "src/bio/CMakeFiles/bp5_bio.dir/align.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/align.cc.o.d"
+  "/root/repo/src/bio/blast.cc" "src/bio/CMakeFiles/bp5_bio.dir/blast.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/blast.cc.o.d"
+  "/root/repo/src/bio/clustal.cc" "src/bio/CMakeFiles/bp5_bio.dir/clustal.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/clustal.cc.o.d"
+  "/root/repo/src/bio/fasta.cc" "src/bio/CMakeFiles/bp5_bio.dir/fasta.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/fasta.cc.o.d"
+  "/root/repo/src/bio/generator.cc" "src/bio/CMakeFiles/bp5_bio.dir/generator.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/generator.cc.o.d"
+  "/root/repo/src/bio/hmm.cc" "src/bio/CMakeFiles/bp5_bio.dir/hmm.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/hmm.cc.o.d"
+  "/root/repo/src/bio/parsimony.cc" "src/bio/CMakeFiles/bp5_bio.dir/parsimony.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/parsimony.cc.o.d"
+  "/root/repo/src/bio/scoring.cc" "src/bio/CMakeFiles/bp5_bio.dir/scoring.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/scoring.cc.o.d"
+  "/root/repo/src/bio/sequence.cc" "src/bio/CMakeFiles/bp5_bio.dir/sequence.cc.o" "gcc" "src/bio/CMakeFiles/bp5_bio.dir/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bp5_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

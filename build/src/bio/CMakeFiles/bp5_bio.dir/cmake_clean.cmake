@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp5_bio.dir/align.cc.o"
+  "CMakeFiles/bp5_bio.dir/align.cc.o.d"
+  "CMakeFiles/bp5_bio.dir/blast.cc.o"
+  "CMakeFiles/bp5_bio.dir/blast.cc.o.d"
+  "CMakeFiles/bp5_bio.dir/clustal.cc.o"
+  "CMakeFiles/bp5_bio.dir/clustal.cc.o.d"
+  "CMakeFiles/bp5_bio.dir/fasta.cc.o"
+  "CMakeFiles/bp5_bio.dir/fasta.cc.o.d"
+  "CMakeFiles/bp5_bio.dir/generator.cc.o"
+  "CMakeFiles/bp5_bio.dir/generator.cc.o.d"
+  "CMakeFiles/bp5_bio.dir/hmm.cc.o"
+  "CMakeFiles/bp5_bio.dir/hmm.cc.o.d"
+  "CMakeFiles/bp5_bio.dir/parsimony.cc.o"
+  "CMakeFiles/bp5_bio.dir/parsimony.cc.o.d"
+  "CMakeFiles/bp5_bio.dir/scoring.cc.o"
+  "CMakeFiles/bp5_bio.dir/scoring.cc.o.d"
+  "CMakeFiles/bp5_bio.dir/sequence.cc.o"
+  "CMakeFiles/bp5_bio.dir/sequence.cc.o.d"
+  "libbp5_bio.a"
+  "libbp5_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp5_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/bp5_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/bp5_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/encode.cc" "src/isa/CMakeFiles/bp5_isa.dir/encode.cc.o" "gcc" "src/isa/CMakeFiles/bp5_isa.dir/encode.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/isa/CMakeFiles/bp5_isa.dir/inst.cc.o" "gcc" "src/isa/CMakeFiles/bp5_isa.dir/inst.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/isa/CMakeFiles/bp5_isa.dir/opcodes.cc.o" "gcc" "src/isa/CMakeFiles/bp5_isa.dir/opcodes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bp5_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

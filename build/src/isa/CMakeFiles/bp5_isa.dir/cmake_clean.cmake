@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp5_isa.dir/disasm.cc.o"
+  "CMakeFiles/bp5_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/bp5_isa.dir/encode.cc.o"
+  "CMakeFiles/bp5_isa.dir/encode.cc.o.d"
+  "CMakeFiles/bp5_isa.dir/inst.cc.o"
+  "CMakeFiles/bp5_isa.dir/inst.cc.o.d"
+  "CMakeFiles/bp5_isa.dir/opcodes.cc.o"
+  "CMakeFiles/bp5_isa.dir/opcodes.cc.o.d"
+  "libbp5_isa.a"
+  "libbp5_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp5_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp5_kernels.dir/ir_builders.cc.o"
+  "CMakeFiles/bp5_kernels.dir/ir_builders.cc.o.d"
+  "CMakeFiles/bp5_kernels.dir/reference.cc.o"
+  "CMakeFiles/bp5_kernels.dir/reference.cc.o.d"
+  "CMakeFiles/bp5_kernels.dir/runtime.cc.o"
+  "CMakeFiles/bp5_kernels.dir/runtime.cc.o.d"
+  "libbp5_kernels.a"
+  "libbp5_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp5_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp5_masm.dir/assembler.cc.o"
+  "CMakeFiles/bp5_masm.dir/assembler.cc.o.d"
+  "libbp5_masm.a"
+  "libbp5_masm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp5_masm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

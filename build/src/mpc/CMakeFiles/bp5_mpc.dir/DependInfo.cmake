@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/codegen.cc" "src/mpc/CMakeFiles/bp5_mpc.dir/codegen.cc.o" "gcc" "src/mpc/CMakeFiles/bp5_mpc.dir/codegen.cc.o.d"
+  "/root/repo/src/mpc/compiler.cc" "src/mpc/CMakeFiles/bp5_mpc.dir/compiler.cc.o" "gcc" "src/mpc/CMakeFiles/bp5_mpc.dir/compiler.cc.o.d"
+  "/root/repo/src/mpc/interp.cc" "src/mpc/CMakeFiles/bp5_mpc.dir/interp.cc.o" "gcc" "src/mpc/CMakeFiles/bp5_mpc.dir/interp.cc.o.d"
+  "/root/repo/src/mpc/ir.cc" "src/mpc/CMakeFiles/bp5_mpc.dir/ir.cc.o" "gcc" "src/mpc/CMakeFiles/bp5_mpc.dir/ir.cc.o.d"
+  "/root/repo/src/mpc/passes.cc" "src/mpc/CMakeFiles/bp5_mpc.dir/passes.cc.o" "gcc" "src/mpc/CMakeFiles/bp5_mpc.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/bp5_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/bp5_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bp5_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp5_mpc.dir/codegen.cc.o"
+  "CMakeFiles/bp5_mpc.dir/codegen.cc.o.d"
+  "CMakeFiles/bp5_mpc.dir/compiler.cc.o"
+  "CMakeFiles/bp5_mpc.dir/compiler.cc.o.d"
+  "CMakeFiles/bp5_mpc.dir/interp.cc.o"
+  "CMakeFiles/bp5_mpc.dir/interp.cc.o.d"
+  "CMakeFiles/bp5_mpc.dir/ir.cc.o"
+  "CMakeFiles/bp5_mpc.dir/ir.cc.o.d"
+  "CMakeFiles/bp5_mpc.dir/passes.cc.o"
+  "CMakeFiles/bp5_mpc.dir/passes.cc.o.d"
+  "libbp5_mpc.a"
+  "libbp5_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp5_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/btac.cc" "src/sim/CMakeFiles/bp5_sim.dir/btac.cc.o" "gcc" "src/sim/CMakeFiles/bp5_sim.dir/btac.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/bp5_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/bp5_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/exec.cc" "src/sim/CMakeFiles/bp5_sim.dir/exec.cc.o" "gcc" "src/sim/CMakeFiles/bp5_sim.dir/exec.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/bp5_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/bp5_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/bp5_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/bp5_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/predictor.cc" "src/sim/CMakeFiles/bp5_sim.dir/predictor.cc.o" "gcc" "src/sim/CMakeFiles/bp5_sim.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/bp5_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/bp5_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bp5_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

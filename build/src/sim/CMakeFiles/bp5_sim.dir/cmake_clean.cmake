@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp5_sim.dir/btac.cc.o"
+  "CMakeFiles/bp5_sim.dir/btac.cc.o.d"
+  "CMakeFiles/bp5_sim.dir/cache.cc.o"
+  "CMakeFiles/bp5_sim.dir/cache.cc.o.d"
+  "CMakeFiles/bp5_sim.dir/exec.cc.o"
+  "CMakeFiles/bp5_sim.dir/exec.cc.o.d"
+  "CMakeFiles/bp5_sim.dir/machine.cc.o"
+  "CMakeFiles/bp5_sim.dir/machine.cc.o.d"
+  "CMakeFiles/bp5_sim.dir/memory.cc.o"
+  "CMakeFiles/bp5_sim.dir/memory.cc.o.d"
+  "CMakeFiles/bp5_sim.dir/predictor.cc.o"
+  "CMakeFiles/bp5_sim.dir/predictor.cc.o.d"
+  "libbp5_sim.a"
+  "libbp5_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp5_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

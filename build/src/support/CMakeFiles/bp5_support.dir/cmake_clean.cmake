@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp5_support.dir/logging.cc.o"
+  "CMakeFiles/bp5_support.dir/logging.cc.o.d"
+  "CMakeFiles/bp5_support.dir/random.cc.o"
+  "CMakeFiles/bp5_support.dir/random.cc.o.d"
+  "CMakeFiles/bp5_support.dir/stats.cc.o"
+  "CMakeFiles/bp5_support.dir/stats.cc.o.d"
+  "CMakeFiles/bp5_support.dir/table.cc.o"
+  "CMakeFiles/bp5_support.dir/table.cc.o.d"
+  "libbp5_support.a"
+  "libbp5_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp5_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

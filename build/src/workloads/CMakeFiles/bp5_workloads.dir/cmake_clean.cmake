@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp5_workloads.dir/profile.cc.o"
+  "CMakeFiles/bp5_workloads.dir/profile.cc.o.d"
+  "CMakeFiles/bp5_workloads.dir/workload.cc.o"
+  "CMakeFiles/bp5_workloads.dir/workload.cc.o.d"
+  "libbp5_workloads.a"
+  "libbp5_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp5_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

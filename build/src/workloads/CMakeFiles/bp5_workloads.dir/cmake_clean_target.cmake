@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbp5_workloads.a"
+)

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bio_align.cc" "tests/CMakeFiles/bp5_tests.dir/test_bio_align.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_bio_align.cc.o.d"
+  "/root/repo/tests/test_bio_blast.cc" "tests/CMakeFiles/bp5_tests.dir/test_bio_blast.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_bio_blast.cc.o.d"
+  "/root/repo/tests/test_bio_clustal.cc" "tests/CMakeFiles/bp5_tests.dir/test_bio_clustal.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_bio_clustal.cc.o.d"
+  "/root/repo/tests/test_bio_core.cc" "tests/CMakeFiles/bp5_tests.dir/test_bio_core.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_bio_core.cc.o.d"
+  "/root/repo/tests/test_bio_hmm.cc" "tests/CMakeFiles/bp5_tests.dir/test_bio_hmm.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_bio_hmm.cc.o.d"
+  "/root/repo/tests/test_bio_parsimony.cc" "tests/CMakeFiles/bp5_tests.dir/test_bio_parsimony.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_bio_parsimony.cc.o.d"
+  "/root/repo/tests/test_exec.cc" "tests/CMakeFiles/bp5_tests.dir/test_exec.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_exec.cc.o.d"
+  "/root/repo/tests/test_exec_fuzz.cc" "tests/CMakeFiles/bp5_tests.dir/test_exec_fuzz.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_exec_fuzz.cc.o.d"
+  "/root/repo/tests/test_failures.cc" "tests/CMakeFiles/bp5_tests.dir/test_failures.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_failures.cc.o.d"
+  "/root/repo/tests/test_interp.cc" "tests/CMakeFiles/bp5_tests.dir/test_interp.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_interp.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/bp5_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/bp5_tests.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_kernels.cc.o.d"
+  "/root/repo/tests/test_masm.cc" "tests/CMakeFiles/bp5_tests.dir/test_masm.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_masm.cc.o.d"
+  "/root/repo/tests/test_mpc.cc" "tests/CMakeFiles/bp5_tests.dir/test_mpc.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_mpc.cc.o.d"
+  "/root/repo/tests/test_mpc_fuzz.cc" "tests/CMakeFiles/bp5_tests.dir/test_mpc_fuzz.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_mpc_fuzz.cc.o.d"
+  "/root/repo/tests/test_paper_shapes.cc" "tests/CMakeFiles/bp5_tests.dir/test_paper_shapes.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_paper_shapes.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/bp5_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_sim_components.cc" "tests/CMakeFiles/bp5_tests.dir/test_sim_components.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_sim_components.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/bp5_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/bp5_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/bp5_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/bp5_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bp5_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/bp5_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/bp5_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bp5_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/bp5_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bp5_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bp5_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -3,7 +3,7 @@
  * Front-end ablation: the two knobs behind the paper's branch-cost
  * analysis — the taken-branch bubble (2 cycles; 3 with SMT, per
  * section III) and the misprediction redirect penalty — swept on the
- * Original and hand-max builds.
+ * Original and hand-max builds via the parallel ExperimentDriver.
  */
 
 #include "bench/bench_util.h"
@@ -17,53 +17,75 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
 
-    std::printf("=== Ablation: taken-branch bubble and mispredict "
+    opts.note("=== Ablation: taken-branch bubble and mispredict "
                 "penalty (class %c) ===\n\n",
                 "ABC"[int(opts.klass)]);
 
-    std::printf("-- taken-branch bubble (Original code) --\n");
-    TextTable t;
-    t.header({"Application", "0 cycles", "2 (POWER5)", "3 (SMT)",
-              "bubble cost"});
-    for (int a = 0; a < 4; ++a) {
-        Workload w(opts.workload(kApps[a]));
-        double ipc[3];
-        unsigned pens[3] = {0, 2, 3};
-        for (int k = 0; k < 3; ++k) {
-            sim::MachineConfig mc;
-            mc.takenBranchPenalty = pens[k];
-            ipc[k] = w.simulate(mpc::Variant::Baseline, mc)
-                         .counters.ipc();
-        }
-        double cost = ipc[0] / ipc[1] - 1.0;
-        t.row({appName(kApps[a]), num(ipc[0]), num(ipc[1]),
-               num(ipc[2]),
-               "+" + num(cost * 100.0, 1) + "% if removed"});
-    }
-    t.print();
+    const unsigned bubbles[3] = {0, 2, 3};
+    const unsigned redirects[4] = {8, 16, 24, 32};
+    const mpc::Variant builds[2] = {mpc::Variant::Baseline,
+                                    mpc::Variant::HandMax};
 
-    std::printf("\n-- mispredict redirect penalty --\n");
-    TextTable t2;
-    t2.header({"Application", "code", "8 cycles", "16 (default)",
-               "24", "32"});
+    // One grid: 4 apps x 3 bubbles, then 4 apps x 2 builds x 4
+    // redirect penalties.
+    std::vector<driver::GridPoint> grid;
     for (int a = 0; a < 4; ++a) {
-        for (mpc::Variant v :
-             {mpc::Variant::Baseline, mpc::Variant::HandMax}) {
-            Workload w(opts.workload(kApps[a]));
-            std::vector<std::string> row = {appName(kApps[a]),
-                                            mpc::variantName(v)};
-            for (unsigned pen : {8u, 16u, 24u, 32u}) {
+        for (unsigned pen : bubbles) {
+            sim::MachineConfig mc;
+            mc.takenBranchPenalty = pen;
+            grid.push_back(
+                opts.point(kApps[a], mpc::Variant::Baseline, mc));
+        }
+    }
+    const size_t redirectBase = grid.size();
+    for (int a = 0; a < 4; ++a) {
+        for (mpc::Variant v : builds) {
+            for (unsigned pen : redirects) {
                 sim::MachineConfig mc;
                 mc.mispredictPenalty = pen;
-                row.push_back(
-                    num(w.simulate(v, mc).counters.ipc()));
+                grid.push_back(opts.point(kApps[a], v, mc));
             }
-            t2.row(row);
         }
     }
-    t2.print();
+    std::vector<driver::PointResult> res = opts.driver().run(grid);
 
-    std::printf(
+    opts.note("-- taken-branch bubble (Original code) --\n");
+    std::vector<driver::ResultRow> rows;
+    for (int a = 0; a < 4; ++a) {
+        double ipc[3];
+        for (int k = 0; k < 3; ++k)
+            ipc[k] = res[size_t(a) * 3 + k].sim.counters.ipc();
+        driver::ResultRow row;
+        row.set("Application", appName(kApps[a]))
+            .set("0 cycles", ipc[0])
+            .set("2 (POWER5)", ipc[1])
+            .set("3 (SMT)", ipc[2])
+            .set("bubble cost",
+                 "+" + num((ipc[0] / ipc[1] - 1.0) * 100.0, 1) +
+                     "% if removed");
+        rows.push_back(row);
+    }
+    opts.emit(rows);
+
+    opts.note("\n-- mispredict redirect penalty --\n");
+    std::vector<driver::ResultRow> rows2;
+    size_t idx = redirectBase;
+    for (int a = 0; a < 4; ++a) {
+        for (mpc::Variant v : builds) {
+            driver::ResultRow row;
+            row.set("Application", appName(kApps[a]))
+                .set("code", mpc::variantName(v));
+            for (unsigned pen : redirects) {
+                row.set(std::to_string(pen) +
+                            (pen == 16 ? " (default)" : " cycles"),
+                        res[idx++].sim.counters.ipc());
+            }
+            rows2.push_back(row);
+        }
+    }
+    opts.emit(rows2);
+
+    opts.note(
         "\nFindings: the branchy Original build degrades steadily as\n"
         "the redirect penalty grows, while the predicated build is\n"
         "almost flat - it barely mispredicts.  The 2-cycle bubble\n"

@@ -5,7 +5,8 @@
  * value-dependent branches and turns to predication instead; this
  * bench quantifies that claim: baseline IPC and misprediction rate
  * under always-taken, bimodal, gshare and tournament predictors, and
- * under a 16x larger tournament.
+ * under a 16x larger tournament.  The sweep runs on the parallel
+ * ExperimentDriver.
  */
 
 #include "bench/bench_util.h"
@@ -19,7 +20,7 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
 
-    std::printf("=== Ablation: direction predictors (class %c, "
+    opts.note("=== Ablation: direction predictors (class %c, "
                 "Original code) ===\n\n",
                 "ABC"[int(opts.klass)]);
 
@@ -36,29 +37,45 @@ main(int argc, char **argv)
         {"tournament 16K", sim::PredictorKind::Tournament, 16384},
         {"tournament 256K", sim::PredictorKind::Tournament, 262144},
     };
+    constexpr size_t kNumConfigs = std::size(configs);
 
+    // Per app: the predictor sweep plus the hand-max contrast point.
+    std::vector<driver::GridPoint> grid;
     for (int a = 0; a < 4; ++a) {
-        Workload w(opts.workload(kApps[a]));
-        TextTable t(std::string(appName(kApps[a])) + ":");
-        t.header({"Predictor", "IPC", "mispredict rate"});
         for (const Config &c : configs) {
             sim::MachineConfig mc;
             mc.predictor = c.kind;
             mc.predictorEntries = c.entries;
-            SimResult r = w.simulate(mpc::Variant::Baseline, mc);
-            t.row({c.name, num(r.counters.ipc()),
-                   pct(r.counters.branchMispredictRate())});
+            grid.push_back(
+                opts.point(kApps[a], mpc::Variant::Baseline, mc));
         }
-        // For contrast: what predication achieves instead.
-        SimResult hm = w.simulate(mpc::Variant::HandMax,
-                                  sim::MachineConfig());
-        t.row({"(hand max, tournament 16K)", num(hm.counters.ipc()),
-               pct(hm.counters.branchMispredictRate())});
-        t.print();
-        std::printf("\n");
+        grid.push_back(opts.point(kApps[a], mpc::Variant::HandMax,
+                                  sim::MachineConfig()));
+    }
+    std::vector<driver::PointResult> res = opts.driver().run(grid);
+
+    for (int a = 0; a < 4; ++a) {
+        const size_t b = size_t(a) * (kNumConfigs + 1);
+        std::vector<driver::ResultRow> rows;
+        for (size_t k = 0; k < kNumConfigs; ++k) {
+            const sim::Counters &c = res[b + k].sim.counters;
+            driver::ResultRow row;
+            row.set("Predictor", configs[k].name)
+                .set("IPC", c.ipc())
+                .setPct("mispredict rate", c.branchMispredictRate());
+            rows.push_back(row);
+        }
+        const sim::Counters &hm = res[b + kNumConfigs].sim.counters;
+        driver::ResultRow row;
+        row.set("Predictor", "(hand max, tournament 16K)")
+            .set("IPC", hm.ipc())
+            .setPct("mispredict rate", hm.branchMispredictRate());
+        rows.push_back(row);
+        opts.emit(rows, std::string(appName(kApps[a])) + ":");
+        opts.note("\n");
     }
 
-    std::printf("Findings: growing or upgrading the predictor moves\n"
+    opts.note("Findings: growing or upgrading the predictor moves\n"
                 "IPC by a few percent at best - the DP max() branches\n"
                 "are value-dependent and carry little exploitable\n"
                 "history - while predication removes them outright\n"

@@ -4,7 +4,8 @@
  * kernel-sampling instruction budget (the analogue of the paper's
  * SMARTS-style uniform sampling).  The headline metrics must be
  * stable once the budget covers a few kernel invocations — otherwise
- * every other bench in this suite would be sampling noise.
+ * every other bench in this suite would be sampling noise.  The
+ * (app x budget) sweep runs on the parallel ExperimentDriver.
  */
 
 #include "bench/bench_util.h"
@@ -18,41 +19,48 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
 
-    std::printf("=== Ablation: sampling-budget sensitivity "
+    opts.note("=== Ablation: sampling-budget sensitivity "
                 "(class %c, Original code) ===\n\n",
                 "ABC"[int(opts.klass)]);
 
     const uint64_t budgets[] = {250'000, 1'000'000, 4'000'000,
                                 16'000'000};
+    constexpr size_t kNumBudgets = std::size(budgets);
+
+    std::vector<driver::GridPoint> grid;
+    for (int a = 0; a < 4; ++a) {
+        for (uint64_t budget : budgets) {
+            driver::GridPoint p = opts.point(
+                kApps[a], mpc::Variant::Baseline, sim::MachineConfig());
+            p.workload.simInstructionBudget = budget;
+            grid.push_back(p);
+        }
+    }
+    std::vector<driver::PointResult> res = opts.driver().run(grid);
 
     for (int a = 0; a < 4; ++a) {
-        TextTable t(std::string(appName(kApps[a])) + ":");
-        t.header({"budget", "invocations", "IPC", "branch share",
-                  "mispredict"});
-        double ipcLargest = 0.0;
-        double ipcSmallest = 0.0;
-        for (uint64_t budget : budgets) {
-            WorkloadConfig wc = opts.workload(kApps[a]);
-            wc.simInstructionBudget = budget;
-            Workload w(wc);
-            SimResult r = w.simulate(mpc::Variant::Baseline,
-                                     sim::MachineConfig());
-            if (budget == budgets[0])
-                ipcSmallest = r.counters.ipc();
-            ipcLargest = r.counters.ipc();
-            t.row({std::to_string(budget / 1000) + "k",
-                   std::to_string(r.invocations),
-                   num(r.counters.ipc()),
-                   pct(r.counters.branchFraction()),
-                   pct(r.counters.branchMispredictRate())});
+        const size_t b = size_t(a) * kNumBudgets;
+        std::vector<driver::ResultRow> rows;
+        for (size_t k = 0; k < kNumBudgets; ++k) {
+            const workloads::SimResult &r = res[b + k].sim;
+            driver::ResultRow row;
+            row.set("budget", std::to_string(budgets[k] / 1000) + "k")
+                .set("invocations", uint64_t(r.invocations))
+                .set("IPC", r.counters.ipc())
+                .setPct("branch share", r.counters.branchFraction())
+                .setPct("mispredict",
+                        r.counters.branchMispredictRate());
+            rows.push_back(row);
         }
-        t.print();
-        double drift = ipcSmallest / ipcLargest - 1.0;
-        std::printf("  IPC drift smallest vs largest budget: %+.1f%%\n\n",
+        opts.emit(rows, std::string(appName(kApps[a])) + ":");
+        double drift = res[b].sim.counters.ipc() /
+                           res[b + kNumBudgets - 1].sim.counters.ipc() -
+                       1.0;
+        opts.note("  IPC drift smallest vs largest budget: %+.1f%%\n\n",
                     drift * 100.0);
     }
 
-    std::printf("Finding: the per-instruction metrics converge within\n"
+    opts.note("Finding: the per-instruction metrics converge within\n"
                 "a few percent once a handful of invocations are\n"
                 "sampled, validating the sampling methodology used\n"
                 "throughout the suite.\n");

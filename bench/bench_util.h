@@ -14,11 +14,14 @@
 #ifndef BIOPERF5_BENCH_BENCH_UTIL_H
 #define BIOPERF5_BENCH_BENCH_UTIL_H
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "driver/driver.h"
+#include "driver/result.h"
 #include "support/table.h"
 #include "workloads/workload.h"
 
@@ -30,6 +33,8 @@ struct BenchOptions
     workloads::InputClass klass = workloads::InputClass::B;
     uint64_t budget = 3'000'000;
     uint64_t seed = 42;
+    unsigned threads = 0; ///< sweep worker count; 0 = hardware
+    bool json = false;    ///< emit result tables as JSON
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -48,9 +53,14 @@ struct BenchOptions
                 o.budget = std::strtoull(v, nullptr, 10);
             } else if (const char *v = val("--seed=")) {
                 o.seed = std::strtoull(v, nullptr, 10);
+            } else if (const char *v = val("--threads=")) {
+                o.threads =
+                    static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            } else if (a == "--json") {
+                o.json = true;
             } else if (a == "--help" || a == "-h") {
                 std::printf("usage: %s [--klass=A|B|C] [--budget=N] "
-                            "[--seed=N]\n",
+                            "[--seed=N] [--threads=N] [--json]\n",
                             argv[0]);
                 std::exit(0);
             } else {
@@ -62,6 +72,46 @@ struct BenchOptions
         return o;
     }
 
+    /** The sweep driver configured from --threads. */
+    driver::ExperimentDriver
+    driver() const
+    {
+        return driver::ExperimentDriver(threads);
+    }
+
+    /**
+     * Print one result-row table honouring --json: an aligned-text
+     * table normally, one JSON Lines record (`{"title":..,"rows":..}`)
+     * per table under --json so stdout stays machine-parseable.
+     */
+    void
+    emit(const std::vector<driver::ResultRow> &rows,
+         const std::string &title = "") const
+    {
+        std::string out = json ? driver::emitJsonLine(rows, title)
+                               : driver::emitText(rows, title);
+        std::fputs(out.c_str(), stdout);
+    }
+
+    /**
+     * printf for the human-facing prose around the tables (headers,
+     * derived findings).  Suppressed under --json, where stdout
+     * carries only JSON Lines records.
+     */
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    void
+    note(const char *fmt, ...) const
+    {
+        if (json)
+            return;
+        va_list ap;
+        va_start(ap, fmt);
+        std::vprintf(fmt, ap);
+        va_end(ap);
+    }
+
     workloads::WorkloadConfig
     workload(workloads::App app) const
     {
@@ -71,6 +121,19 @@ struct BenchOptions
         wc.seed = seed;
         wc.simInstructionBudget = budget;
         return wc;
+    }
+
+    /** Build one sweep point for app/variant/machine. */
+    driver::GridPoint
+    point(workloads::App app, mpc::Variant var,
+          const sim::MachineConfig &mc, std::string label = "") const
+    {
+        driver::GridPoint p;
+        p.label = std::move(label);
+        p.workload = workload(app);
+        p.variant = var;
+        p.machine = mc;
+        return p;
     }
 };
 

@@ -3,7 +3,8 @@
  * Reproduces paper Fig 3: IPC of the four applications when the max
  * and isel predicated instructions are inserted by hand and by the
  * compiler's if-conversion pass, plus the "Combination" build
- * (hand max + compiler isel).
+ * (hand max + compiler isel).  The (app x variant) sweep runs on the
+ * parallel ExperimentDriver; results are aggregated in grid order.
  */
 
 #include "bench/bench_util.h"
@@ -17,39 +18,50 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
 
-    std::printf("=== Fig 3: IPC with max and isel instructions "
+    opts.note("=== Fig 3: IPC with max and isel instructions "
                 "(class %c inputs) ===\n\n",
                 "ABC"[int(opts.klass)]);
 
+    constexpr int kNumVariants = int(mpc::Variant::NUM_VARIANTS);
+    std::vector<driver::GridPoint> grid;
     for (int a = 0; a < 4; ++a) {
-        Workload w(opts.workload(kApps[a]));
-        TextTable t(std::string(appName(kApps[a])) + ":");
-        t.header({"Variant", "IPC", "vs Original", "(paper)",
-                  "isel+max/inst", "cmp/inst"});
-        double baseIpc = 0.0;
+        for (int v = 0; v < kNumVariants; ++v) {
+            grid.push_back(opts.point(kApps[a],
+                                      static_cast<mpc::Variant>(v),
+                                      sim::MachineConfig()));
+        }
+    }
+    std::vector<driver::PointResult> res = opts.driver().run(grid);
+
+    for (int a = 0; a < 4; ++a) {
         const PaperFig3Row &p = kPaperFig3[a];
-        for (int v = 0; v < int(mpc::Variant::NUM_VARIANTS); ++v) {
+        double baseIpc =
+            res[size_t(a) * kNumVariants].sim.counters.ipc();
+        std::vector<driver::ResultRow> rows;
+        for (int v = 0; v < kNumVariants; ++v) {
             mpc::Variant var = static_cast<mpc::Variant>(v);
-            SimResult r = w.simulate(var, sim::MachineConfig());
-            const sim::Counters &c = r.counters;
-            if (var == mpc::Variant::Baseline)
-                baseIpc = c.ipc();
-            double gain = c.ipc() / baseIpc - 1.0;
+            const sim::Counters &c =
+                res[size_t(a) * kNumVariants + v].sim.counters;
             std::string paper = "-";
             if (var == mpc::Variant::HandIsel && p.handIselPct >= 0)
                 paper = "+" + num(p.handIselPct, 1) + "%";
             if (var == mpc::Variant::HandMax && p.handMaxPct >= 0)
                 paper = "+" + num(p.handMaxPct, 1) + "%";
-            t.row({mpc::variantName(var), num(c.ipc()),
-                   (gain >= 0 ? "+" : "") + num(gain * 100.0, 1) + "%",
-                   paper, pct(c.predicatedFraction()),
-                   pct(c.compareFraction())});
+            driver::ResultRow row;
+            row.set("Application", appName(kApps[a]))
+                .set("Variant", mpc::variantName(var))
+                .set("IPC", c.ipc())
+                .setGainPct("vs Original", c.ipc() / baseIpc - 1.0)
+                .set("(paper)", paper)
+                .setPct("isel+max/inst", c.predicatedFraction())
+                .setPct("cmp/inst", c.compareFraction());
+            rows.push_back(row);
         }
-        t.print();
-        std::printf("\n");
+        opts.emit(rows, std::string(appName(kApps[a])) + ":");
+        opts.note("\n");
     }
 
-    std::printf(
+    opts.note(
         "Shape checks (paper section VI-A):\n"
         "  - max outperforms isel for hand insertion (isel needs the\n"
         "    extra cmp: watch the cmp/inst column rise)\n"

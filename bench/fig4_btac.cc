@@ -3,7 +3,8 @@
  * Reproduces paper Fig 4: the effect of adding the eight-entry Branch
  * Target Address Cache — on the original POWER5 and on the
  * predication-enhanced ("Combination") build — plus the BTAC's own
- * misprediction rate table.
+ * misprediction rate table.  The (app x build x machine) sweep runs on
+ * the parallel ExperimentDriver.
  */
 
 #include "bench/bench_util.h"
@@ -17,41 +18,51 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
 
-    std::printf("=== Fig 4: effect of an eight-entry BTAC "
+    opts.note("=== Fig 4: effect of an eight-entry BTAC "
                 "(class %c) ===\n\n",
                 "ABC"[int(opts.klass)]);
 
-    TextTable t;
-    t.header({"Application", "base IPC", "base+BTAC", "gain",
-              "comb IPC", "comb+BTAC", "gain", "BTAC mispred"});
+    sim::MachineConfig plain;
+    sim::MachineConfig btac = sim::MachineConfig::power5WithBtac();
 
+    // Per app: {base, base+BTAC, comb, comb+BTAC}.
+    std::vector<driver::GridPoint> grid;
     for (int a = 0; a < 4; ++a) {
-        Workload w(opts.workload(kApps[a]));
-        sim::MachineConfig plain;
-        sim::MachineConfig btac = sim::MachineConfig::power5WithBtac();
-
-        SimResult b0 = w.simulate(mpc::Variant::Baseline, plain);
-        SimResult b1 = w.simulate(mpc::Variant::Baseline, btac);
-        SimResult c0 = w.simulate(mpc::Variant::Combination, plain);
-        SimResult c1 = w.simulate(mpc::Variant::Combination, btac);
-
-        double g0 = b1.counters.ipc() / b0.counters.ipc() - 1.0;
-        double g1 = c1.counters.ipc() / c0.counters.ipc() - 1.0;
-        double mrate =
-            b1.counters.btacPredictions
-                ? double(b1.counters.btacMispredicts) /
-                      double(b1.counters.btacPredictions)
-                : 0.0;
-        t.row({appName(kApps[a]), num(b0.counters.ipc()),
-               num(b1.counters.ipc()),
-               (g0 >= 0 ? "+" : "") + num(g0 * 100.0, 1) + "%",
-               num(c0.counters.ipc()), num(c1.counters.ipc()),
-               (g1 >= 0 ? "+" : "") + num(g1 * 100.0, 1) + "%",
-               pct(mrate)});
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Baseline,
+                                  plain));
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Baseline,
+                                  btac));
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Combination,
+                                  plain));
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Combination,
+                                  btac));
     }
-    t.print();
+    std::vector<driver::PointResult> res = opts.driver().run(grid);
 
-    std::printf(
+    std::vector<driver::ResultRow> rows;
+    for (int a = 0; a < 4; ++a) {
+        const sim::Counters &b0 = res[size_t(a) * 4 + 0].sim.counters;
+        const sim::Counters &b1 = res[size_t(a) * 4 + 1].sim.counters;
+        const sim::Counters &c0 = res[size_t(a) * 4 + 2].sim.counters;
+        const sim::Counters &c1 = res[size_t(a) * 4 + 3].sim.counters;
+        double mrate = b1.btacPredictions
+                           ? double(b1.btacMispredicts) /
+                                 double(b1.btacPredictions)
+                           : 0.0;
+        driver::ResultRow row;
+        row.set("Application", appName(kApps[a]))
+            .set("base IPC", b0.ipc())
+            .set("base+BTAC", b1.ipc())
+            .setGainPct("gain", b1.ipc() / b0.ipc() - 1.0)
+            .set("comb IPC", c0.ipc())
+            .set("comb+BTAC", c1.ipc())
+            .setGainPct("comb gain", c1.ipc() / c0.ipc() - 1.0)
+            .setPct("BTAC mispred", mrate);
+        rows.push_back(row);
+    }
+    opts.emit(rows);
+
+    opts.note(
         "\nShape checks (paper section VI-B):\n"
         "  - paper gains on the original design: +1.8%% to +7.9%%,\n"
         "    largest for Fasta\n"

@@ -3,6 +3,8 @@
  * Reproduces paper Fig 5: the effect of additional fixed-point units —
  * 2 vs 3 vs 4 FXUs on the original POWER5 and on the "Combination"
  * predicated build (whose max/isel instructions add FXU pressure).
+ * The (build x app x FXU-count) sweep runs on the parallel
+ * ExperimentDriver.
  */
 
 #include "bench/bench_util.h"
@@ -16,37 +18,44 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
 
-    std::printf("=== Fig 5: effect of additional fixed-point units "
+    opts.note("=== Fig 5: effect of additional fixed-point units "
                 "(class %c) ===\n\n",
                 "ABC"[int(opts.klass)]);
 
-    for (const char *which : {"Original", "Combination"}) {
-        mpc::Variant var = std::string(which) == "Original"
-                               ? mpc::Variant::Baseline
-                               : mpc::Variant::Combination;
-        TextTable t(std::string(which) + " code:");
-        t.header({"Application", "2 FXU", "3 FXU", "4 FXU",
-                  "gain 2->3", "gain 3->4"});
+    const mpc::Variant variants[2] = {mpc::Variant::Baseline,
+                                      mpc::Variant::Combination};
+    std::vector<driver::GridPoint> grid;
+    for (mpc::Variant var : variants) {
         for (int a = 0; a < 4; ++a) {
-            Workload w(opts.workload(kApps[a]));
-            double ipc[3];
             for (unsigned n = 2; n <= 4; ++n) {
-                SimResult r = w.simulate(
-                    var, sim::MachineConfig::power5WithFxu(n));
-                ipc[n - 2] = r.counters.ipc();
+                grid.push_back(opts.point(
+                    kApps[a], var, sim::MachineConfig::power5WithFxu(n)));
             }
-            double g23 = ipc[1] / ipc[0] - 1.0;
-            double g34 = ipc[2] / ipc[1] - 1.0;
-            t.row({appName(kApps[a]), num(ipc[0]), num(ipc[1]),
-                   num(ipc[2]),
-                   (g23 >= 0 ? "+" : "") + num(g23 * 100.0, 1) + "%",
-                   (g34 >= 0 ? "+" : "") + num(g34 * 100.0, 1) + "%"});
         }
-        t.print();
-        std::printf("\n");
+    }
+    std::vector<driver::PointResult> res = opts.driver().run(grid);
+
+    size_t idx = 0;
+    for (const char *which : {"Original", "Combination"}) {
+        std::vector<driver::ResultRow> rows;
+        for (int a = 0; a < 4; ++a) {
+            double ipc[3];
+            for (int k = 0; k < 3; ++k)
+                ipc[k] = res[idx++].sim.counters.ipc();
+            driver::ResultRow row;
+            row.set("Application", appName(kApps[a]))
+                .set("2 FXU", ipc[0])
+                .set("3 FXU", ipc[1])
+                .set("4 FXU", ipc[2])
+                .setGainPct("gain 2->3", ipc[1] / ipc[0] - 1.0)
+                .setGainPct("gain 3->4", ipc[2] / ipc[1] - 1.0);
+            rows.push_back(row);
+        }
+        opts.emit(rows, std::string(which) + " code:");
+        opts.note("\n");
     }
 
-    std::printf(
+    opts.note(
         "Shape checks (paper section VI-C):\n"
         "  - Hmmer benefits most from extra FXUs; Fasta the least\n"
         "  - moving from three to four units adds little\n"

@@ -3,7 +3,9 @@
  * Reproduces paper Fig 6: the cumulative effect of all three
  * enhancements — predication, the BTAC, and four FXUs — including the
  * "residual" category showing that the combination gains more than
- * the sum of the individual deltas.
+ * the sum of the individual deltas.  The five configurations per app
+ * run as one grid on the parallel ExperimentDriver; aggregation is in
+ * grid order, so output is identical for any --threads value.
  */
 
 #include "bench/bench_util.h"
@@ -17,61 +19,64 @@ main(int argc, char **argv)
 {
     BenchOptions opts = BenchOptions::parse(argc, argv);
 
-    std::printf("=== Fig 6: combining predication, BTAC and four FXUs "
+    opts.note("=== Fig 6: combining predication, BTAC and four FXUs "
                 "(class %c) ===\n\n",
                 "ABC"[int(opts.klass)]);
 
-    TextTable t;
-    t.header({"Application", "base", "+pred", "+BTAC", "+FXUs",
-              "residual", "all", "total gain", "(paper)"});
+    // Per app: {base, +pred, +BTAC, +FXUs, all}.
+    sim::MachineConfig base;
+    std::vector<driver::GridPoint> grid;
+    for (int a = 0; a < 4; ++a) {
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Baseline,
+                                  base));
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Combination,
+                                  base));
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Baseline,
+                                  sim::MachineConfig::power5WithBtac()));
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Baseline,
+                                  sim::MachineConfig::power5WithFxu(4)));
+        grid.push_back(opts.point(kApps[a], mpc::Variant::Combination,
+                                  sim::MachineConfig::power5Enhanced()));
+    }
+    std::vector<driver::PointResult> res = opts.driver().run(grid);
 
+    std::vector<driver::ResultRow> rows;
     std::vector<double> gains;
     for (int a = 0; a < 4; ++a) {
-        Workload w(opts.workload(kApps[a]));
-        sim::MachineConfig base;
-
-        double ipcBase =
-            w.simulate(mpc::Variant::Baseline, base).counters.ipc();
-        // Individual deltas, each applied alone to the baseline.
-        double dPred =
-            w.simulate(mpc::Variant::Combination, base).counters.ipc() -
-            ipcBase;
-        double dBtac = w.simulate(mpc::Variant::Baseline,
-                                  sim::MachineConfig::power5WithBtac())
-                           .counters.ipc() -
-                       ipcBase;
-        double dFxu = w.simulate(mpc::Variant::Baseline,
-                                 sim::MachineConfig::power5WithFxu(4))
-                          .counters.ipc() -
-                      ipcBase;
-        // Everything at once.
-        double ipcAll = w.simulate(mpc::Variant::Combination,
-                                   sim::MachineConfig::power5Enhanced())
-                            .counters.ipc();
+        const size_t b = size_t(a) * 5;
+        double ipcBase = res[b + 0].sim.counters.ipc();
+        double dPred = res[b + 1].sim.counters.ipc() - ipcBase;
+        double dBtac = res[b + 2].sim.counters.ipc() - ipcBase;
+        double dFxu = res[b + 3].sim.counters.ipc() - ipcBase;
+        double ipcAll = res[b + 4].sim.counters.ipc();
         double residual = ipcAll - (ipcBase + dPred + dBtac + dFxu);
         double gain = ipcAll / ipcBase - 1.0;
         gains.push_back(gain);
 
         const PaperFig6Row &p = kPaperFig6[a];
-        t.row({appName(kApps[a]), num(ipcBase),
-               (dPred >= 0 ? "+" : "") + num(dPred),
-               (dBtac >= 0 ? "+" : "") + num(dBtac),
-               (dFxu >= 0 ? "+" : "") + num(dFxu),
-               (residual >= 0 ? "+" : "") + num(residual),
-               num(ipcAll),
-               (gain >= 0 ? "+" : "") + num(gain * 100.0, 1) + "%",
-               "+" + num(p.finalGainPct, 0) + "%"});
+        driver::ResultRow row;
+        row.set("Application", appName(kApps[a]))
+            .set("base", ipcBase)
+            .set("+pred", (dPred >= 0 ? "+" : "") + num(dPred))
+            .set("+BTAC", (dBtac >= 0 ? "+" : "") + num(dBtac))
+            .set("+FXUs", (dFxu >= 0 ? "+" : "") + num(dFxu))
+            .set("residual",
+                 (residual >= 0 ? "+" : "") + num(residual))
+            .set("all", ipcAll)
+            .setGainPct("total gain", gain)
+            .set("(paper)", "+" + num(p.finalGainPct, 0) + "%");
+        rows.push_back(row);
     }
-    t.print();
+    opts.emit(rows);
 
     double avg = 0.0;
     for (double g : gains)
         avg += g;
     avg /= double(gains.size());
-    std::printf("\naverage improvement: %+.1f%% (paper: +64%% across "
+    opts.note("\naverage improvement: %+.1f%% (paper: +64%% across "
                 "the four applications)\n",
                 avg * 100.0);
-    std::printf("Shape checks (paper section VI-D): predication is the\n"
+    opts.note("Shape checks (paper section VI-D): predication is the\n"
                 "largest single contributor; the residual is positive\n"
                 "for most applications (the techniques reinforce each\n"
                 "other).\n");

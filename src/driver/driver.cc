@@ -1,0 +1,133 @@
+#include "driver/driver.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <tuple>
+
+#include "support/logging.h"
+
+namespace bp5::driver {
+
+namespace {
+
+/** Worker-local simulation state, reused across grid points. */
+class WorkerState
+{
+  public:
+    workloads::Workload &
+    workloadFor(const workloads::WorkloadConfig &wc)
+    {
+        auto key = std::make_tuple(int(wc.app), int(wc.klass), wc.seed,
+                                   wc.simInstructionBudget);
+        auto it = workloads_.find(key);
+        if (it == workloads_.end()) {
+            it = workloads_
+                     .emplace(key,
+                              std::make_unique<workloads::Workload>(wc))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    /**
+     * One machine per (kernel, variant, config), recycled via reset().
+     * Reset-equivalence (tested) makes reuse indistinguishable from
+     * constructing a fresh machine.
+     */
+    kernels::KernelMachine &
+    machineFor(kernels::KernelKind kind, mpc::Variant variant,
+               const sim::MachineConfig &mc)
+    {
+        for (MachineEntry &e : machines_) {
+            if (e.kind == kind && e.variant == variant && e.config == mc) {
+                e.km->reset();
+                return *e.km;
+            }
+        }
+        machines_.push_back(
+            {kind, variant, mc,
+             std::make_unique<kernels::KernelMachine>(kind, variant, mc)});
+        return *machines_.back().km;
+    }
+
+  private:
+    struct MachineEntry
+    {
+        kernels::KernelKind kind;
+        mpc::Variant variant;
+        sim::MachineConfig config;
+        std::unique_ptr<kernels::KernelMachine> km;
+    };
+
+    std::map<std::tuple<int, int, uint64_t, uint64_t>,
+             std::unique_ptr<workloads::Workload>>
+        workloads_;
+    std::vector<MachineEntry> machines_;
+};
+
+void
+runPoint(WorkerState &state, const GridPoint &p, PointResult &out)
+{
+    workloads::Workload &w = state.workloadFor(p.workload);
+    kernels::KernelMachine &km = state.machineFor(
+        workloads::appKernel(p.workload.app), p.variant, p.machine);
+    if (p.intervalCycles)
+        km.setSampleInterval(p.intervalCycles);
+    out.label = p.label;
+    out.sim = w.simulate(km);
+}
+
+} // namespace
+
+ExperimentDriver::ExperimentDriver(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+std::vector<PointResult>
+ExperimentDriver::run(const std::vector<GridPoint> &grid) const
+{
+    std::vector<PointResult> results(grid.size());
+    if (grid.empty())
+        return results;
+
+    unsigned workers = threads_;
+    if (workers > grid.size())
+        workers = static_cast<unsigned>(grid.size());
+
+    if (workers <= 1) {
+        WorkerState state;
+        for (size_t i = 0; i < grid.size(); ++i)
+            runPoint(state, grid[i], results[i]);
+        return results;
+    }
+
+    // Self-scheduling: workers pull the next unclaimed index.  Result
+    // placement is by index, so completion order never matters.
+    std::atomic<size_t> next{0};
+    auto work = [&]() {
+        WorkerState state;
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= grid.size())
+                break;
+            runPoint(state, grid[i], results[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(work);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace bp5::driver

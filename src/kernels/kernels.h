@@ -163,8 +163,20 @@ class KernelMachine
     int64_t run(const ExtendProblem &p);
     int64_t run(const SankoffProblem &p);
 
+    /**
+     * Return the machine to its just-constructed state: cold caches,
+     * predictors and BTAC, zeroed counters and timeline, sampling off.
+     * The compiled kernel stays loaded.  Lets a driver reuse one
+     * KernelMachine across experiment points with results identical to
+     * constructing a fresh one each time.
+     */
+    void reset();
+
     /** Counters accumulated over all run() calls. */
     const sim::Counters &totals() const { return totals_; }
+
+    /** The underlying machine (cache/BTAC stats inspection). */
+    const sim::Machine &machine() const { return machine_; }
 
     /** Timeline samples (set interval before running; 0 = off). */
     void setSampleInterval(uint64_t cycles) { interval_ = cycles; }

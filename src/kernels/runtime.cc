@@ -79,6 +79,16 @@ KernelMachine::KernelMachine(KernelKind kind, mpc::Variant variant,
     machine_.loadProgram(compiled_.program(kCodeBase));
 }
 
+void
+KernelMachine::reset()
+{
+    machine_.reset();
+    totals_ = sim::Counters();
+    timeline_.clear();
+    interval_ = 0;
+    functionalOnly_ = false;
+}
+
 int64_t
 KernelMachine::invoke(const std::vector<uint64_t> &args, int64_t expected)
 {

@@ -32,6 +32,9 @@ struct BtacParams
      * the BTAC misprediction rate in the paper's 1.4-2.5% band.
      */
     bool resetOnMispredict = true;
+
+    friend bool operator==(const BtacParams &,
+                           const BtacParams &) = default;
 };
 
 /** BTAC statistics. */

@@ -31,9 +31,13 @@ Cache::tagOf(uint64_t addr) const
 }
 
 unsigned
-Cache::access(uint64_t addr, bool is_write)
+Cache::access(uint64_t addr, bool is_write, bool is_writeback)
 {
     ++stats_.accesses;
+    if (is_write)
+        ++stats_.writes;
+    if (is_writeback)
+        ++stats_.writebacksIn;
     uint64_t base = lineIndex(addr);
     uint64_t tag = tagOf(addr);
 
@@ -67,7 +71,15 @@ Cache::access(uint64_t addr, bool is_write)
     Line &v = lines_[base + victim];
     if (v.valid && v.dirty) {
         ++stats_.writebacks;
-        // Writeback traffic is off the critical path (write buffers).
+        // Present the victim to the next level so its write traffic is
+        // accounted; write buffers keep this off the critical path, so
+        // the returned latency is discarded.
+        if (next_) {
+            uint64_t set = base / params_.assoc;
+            uint64_t victimAddr =
+                (v.tag * numSets_ + set) * params_.lineBytes;
+            (void)next_->access(victimAddr, true, /*is_writeback=*/true);
+        }
     }
     v.valid = true;
     v.dirty = is_write;
@@ -94,6 +106,10 @@ Cache::flush()
 {
     for (auto &l : lines_)
         l = Line();
+    // Reset the LRU clock too: a flushed cache must be bit-for-bit
+    // identical to a freshly constructed one (Machine::reset relies on
+    // this for run-to-run reproducibility).
+    stamp_ = 0;
 }
 
 } // namespace bp5::sim

@@ -24,14 +24,19 @@ struct CacheParams
     unsigned assoc = 4;
     unsigned lineBytes = 128;
     unsigned hitLatency = 1;   ///< cycles added on a hit at this level
+
+    friend bool operator==(const CacheParams &,
+                           const CacheParams &) = default;
 };
 
 /** Access statistics for one cache level. */
 struct CacheStats
 {
-    uint64_t accesses = 0;
+    uint64_t accesses = 0;   ///< demand accesses + incoming writebacks
     uint64_t misses = 0;
-    uint64_t writebacks = 0;
+    uint64_t writes = 0;     ///< write accesses (stores + writebacks in)
+    uint64_t writebacks = 0; ///< dirty lines evicted from this level
+    uint64_t writebacksIn = 0; ///< writebacks received from the level above
 
     double missRate() const
     {
@@ -53,13 +58,22 @@ class Cache
     /**
      * Access @p addr (read or write).  Returns the total added latency
      * in cycles (this level's hit latency plus any lower-level cost).
+     * Dirty evictions are presented to the next level as zero-latency
+     * writeback accesses (write buffers keep them off the critical
+     * path), so every level's CacheStats see the real write traffic.
+     * @param is_writeback true when this access is a writeback arriving
+     *        from the level above (accounted separately, latency unused)
      */
-    unsigned access(uint64_t addr, bool is_write);
+    unsigned access(uint64_t addr, bool is_write, bool is_writeback = false);
 
     /** True if the line containing @p addr is currently resident. */
     bool probe(uint64_t addr) const;
 
-    /** Invalidate all lines (keeps statistics). */
+    /**
+     * Invalidate all lines and the LRU clock (keeps statistics).  A
+     * flushed cache makes bit-for-bit the same decisions as a freshly
+     * constructed one.
+     */
     void flush();
 
     const CacheStats &stats() const { return stats_; }

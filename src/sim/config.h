@@ -59,6 +59,11 @@ struct MachineConfig
         return smt ? takenBranchPenalty + 1 : takenBranchPenalty;
     }
 
+    /** Field-wise equality (the experiment driver keys machine reuse
+     *  on it). */
+    friend bool operator==(const MachineConfig &,
+                           const MachineConfig &) = default;
+
     /** Baseline POWER5 as measured in the paper's section III. */
     static MachineConfig power5Baseline() { return MachineConfig(); }
 

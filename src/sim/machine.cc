@@ -122,6 +122,11 @@ Machine::reset()
                                config_.predictorHistoryBits);
     btac_ = Btac(config_.btac);
     exec_.clearConsole();
+    // The decode cache is semantically invisible (decode is a pure
+    // function of memory, and loadProgram() invalidates), but drop it
+    // anyway so a reset machine is indistinguishable from a fresh one
+    // even for programs that store to their own code pages.
+    exec_.invalidateDecodeCache();
     timing_.reset();
 }
 

@@ -58,7 +58,13 @@ class Machine
     /** Copy a program image into memory (does not change the PC). */
     void loadProgram(const masm::Program &prog);
 
-    /** Reset architectural state, caches, predictors and counters. */
+    /**
+     * Reset architectural state, caches, predictors, timing state and
+     * counters.  Memory contents are preserved (the loaded program
+     * stays resident); everything else is bit-for-bit identical to a
+     * freshly constructed Machine, so run(); reset(); run() reproduces
+     * a fresh machine's counters exactly.
+     */
     void reset();
 
     /**

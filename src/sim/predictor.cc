@@ -43,14 +43,22 @@ GsharePredictor::GsharePredictor(unsigned entries, unsigned historyBits)
     : table_(entries, SatCounter(2, 1)),
       maskBits_(checkedMaskBits(entries)), historyBits_(historyBits)
 {
-    BP5_ASSERT(historyBits_ <= maskBits_,
-               "history longer than index width");
+    BP5_ASSERT(historyBits_ <= 64, "history wider than the register");
 }
 
 unsigned
 GsharePredictor::index(uint64_t pc) const
 {
+    // Histories longer than the index are folded down by XORing
+    // maskBits_-wide chunks, the standard gshare construction, so
+    // every history bit still participates in the index.
+    if (maskBits_ == 0)
+        return 0;
     uint64_t h = ghr_ & mask(historyBits_);
+    for (unsigned used = maskBits_; used < historyBits_;
+         used += maskBits_) {
+        h = (h & mask(maskBits_)) ^ (h >> maskBits_);
+    }
     return static_cast<unsigned>(((pc >> 2) ^ h) & mask(maskBits_));
 }
 

@@ -342,10 +342,18 @@ SimResult
 Workload::simulate(mpc::Variant variant, const sim::MachineConfig &mc,
                    uint64_t interval_cycles) const
 {
-    const Data &d = *data_;
     kernels::KernelMachine km(appKernel(config_.app), variant, mc);
     if (interval_cycles)
         km.setSampleInterval(interval_cycles);
+    return simulate(km);
+}
+
+SimResult
+Workload::simulate(kernels::KernelMachine &km) const
+{
+    BP5_ASSERT(km.kind() == appKernel(config_.app),
+               "machine built for the wrong kernel");
+    const Data &d = *data_;
 
     SimResult res;
     res.compiled = km.compiled();

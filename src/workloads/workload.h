@@ -96,6 +96,15 @@ class Workload
     SimResult simulate(mpc::Variant variant, const sim::MachineConfig &mc,
                        uint64_t interval_cycles = 0) const;
 
+    /**
+     * Simulate on a caller-supplied machine (must be built for this
+     * app's kernel).  The machine's accumulated counters feed the
+     * instruction budget, so reset() it first when reusing one across
+     * runs — the experiment driver does exactly that to keep one
+     * machine per worker thread.
+     */
+    SimResult simulate(kernels::KernelMachine &km) const;
+
   private:
     struct Data;
 

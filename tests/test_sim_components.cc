@@ -135,6 +135,74 @@ TEST(Cache, WritebackCountsDirtyEvictions)
     EXPECT_EQ(c.stats().writebacks, 1u);
 }
 
+TEST(Cache, DirtyEvictionsPresentWritebacksToNextLevel)
+{
+    // L1: 1024B/64B/2-way = 8 sets; L2: 4096B holds everything.
+    CacheParams l2p = smallCache();
+    l2p.sizeBytes = 4096;
+    l2p.hitLatency = 10;
+    Cache l2(l2p, nullptr, 100);
+    Cache l1(smallCache(), &l2, 100);
+
+    // Store-sweep 32 distinct lines: 16 L1 lines of capacity, so the
+    // second half of the sweep evicts one dirty line per access.
+    for (unsigned i = 0; i < 32; ++i)
+        l1.access(uint64_t(i) * 64, true);
+
+    EXPECT_EQ(l1.stats().accesses, 32u);
+    EXPECT_EQ(l1.stats().misses, 32u);
+    EXPECT_EQ(l1.stats().writes, 32u);
+    EXPECT_EQ(l1.stats().writebacks, 16u);
+    // L2 sees 32 refills plus 16 incoming writebacks; the writebacks
+    // hit (the refill already allocated the line) and are the only
+    // write traffic at this level.
+    EXPECT_EQ(l2.stats().accesses, 48u);
+    EXPECT_EQ(l2.stats().misses, 32u);
+    EXPECT_EQ(l2.stats().writes, 16u);
+    EXPECT_EQ(l2.stats().writebacksIn, 16u);
+}
+
+TEST(Cache, WritebackLatencyStaysOffCriticalPath)
+{
+    CacheParams l2p = smallCache();
+    l2p.sizeBytes = 4096;
+    l2p.hitLatency = 10;
+    Cache l2(l2p, nullptr, 100);
+    Cache l1(smallCache(), &l2, 100);
+
+    uint64_t setStride = 8 * 64;
+    l1.access(0, true);                      // dirty
+    l1.access(setStride, true);              // dirty, same set
+    // Third line in the set: evicts dirty line 0.  The returned
+    // latency charges only the demand refill (1 + 10 + 100), not the
+    // writeback that the eviction pushes into the L2.
+    EXPECT_EQ(l1.access(2 * setStride, true), 1u + 10u + 100u);
+    EXPECT_EQ(l1.stats().writebacks, 1u);
+    EXPECT_EQ(l2.stats().writebacksIn, 1u);
+}
+
+TEST(Cache, FlushResetsLruClock)
+{
+    // After flush the replacement decisions must replay exactly as on
+    // a fresh cache: same victims, same stats deltas.
+    auto sweep = [](Cache &c) {
+        std::vector<uint64_t> order = {0, 512, 1024, 0, 1536, 512};
+        uint64_t misses0 = c.stats().misses;
+        for (uint64_t a : order)
+            c.access(a, a % 128 == 0);
+        return c.stats().misses - misses0;
+    };
+    Cache fresh(smallCache(), nullptr, 100);
+    uint64_t freshMisses = sweep(fresh);
+
+    Cache reused(smallCache(), nullptr, 100);
+    sweep(reused);
+    reused.flush();
+    reused.resetStats();
+    uint64_t reusedMisses = sweep(reused);
+    EXPECT_EQ(reusedMisses, freshMisses);
+}
+
 TEST(Cache, HierarchyChargesLowerLevels)
 {
     CacheParams l2p = smallCache();
@@ -270,6 +338,39 @@ TEST(Predictor, BiasedBranchAccuracyTracksBias)
     }
     double acc = double(ok) / double(n);
     EXPECT_GT(acc, 0.72); // at least the bias
+}
+
+TEST(Predictor, GshareFoldsLongHistoryIntoSmallTable)
+{
+    // historyBits > log2(entries): the history must be folded (XOR of
+    // index-width chunks) into the 10-bit index, not assert out.
+    GsharePredictor g(1024, 14);
+
+    // A period-12 pattern needs more than 10 bits of history context at
+    // a single PC; the folded 14-bit history must still separate the
+    // phases well enough to learn it.
+    const bool pattern[12] = {true, true,  false, true, false, false,
+                              true, false, true,  true, false, false};
+    unsigned ok = 0, n = 0;
+    for (int i = 0; i < 6000; ++i) {
+        bool taken = pattern[i % 12];
+        if (i > 2000) {
+            ok += g.predict(0x40) == taken;
+            ++n;
+        }
+        g.update(0x40, taken);
+    }
+    EXPECT_GT(double(ok) / double(n), 0.95);
+}
+
+TEST(Predictor, GshareDegenerateSingleEntryTable)
+{
+    // entries=1 means a zero-bit index; folding must terminate and the
+    // predictor degrades to a single shared counter.
+    GsharePredictor g(1, 14);
+    for (int i = 0; i < 8; ++i)
+        g.update(0x40, true);
+    EXPECT_TRUE(g.predict(0x1234));
 }
 
 TEST(Predictor, FactoryProducesAllKinds)

@@ -35,6 +35,7 @@ struct BenchOptions
     uint64_t seed = 42;
     unsigned threads = 0; ///< sweep worker count; 0 = hardware
     bool json = false;    ///< emit result tables as JSON
+    bool analyze = false; ///< join static branch classes with the PMU
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -58,9 +59,12 @@ struct BenchOptions
                     static_cast<unsigned>(std::strtoul(v, nullptr, 10));
             } else if (a == "--json") {
                 o.json = true;
+            } else if (a == "--analyze") {
+                o.analyze = true;
             } else if (a == "--help" || a == "-h") {
                 std::printf("usage: %s [--klass=A|B|C] [--budget=N] "
-                            "[--seed=N] [--threads=N] [--json]\n",
+                            "[--seed=N] [--threads=N] [--json] "
+                            "[--analyze]\n",
                             argv[0]);
                 std::exit(0);
             } else {

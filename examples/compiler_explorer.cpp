@@ -75,7 +75,7 @@ show(const char *title, const Compiled &c)
                 c.cg.branchesEmitted, c.cg.numInsts);
     for (size_t i = 0; i < c.insts.size(); ++i) {
         std::printf("    %2zu: %s\n", i,
-                    isa::disassemble(c.insts[i], 0).c_str());
+                    isa::disassemble(c.insts[i], 4 * i).c_str());
     }
     std::printf("\n");
 }

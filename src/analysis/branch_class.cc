@@ -1,0 +1,306 @@
+#include "analysis/branch_class.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace bp5::analysis {
+
+using isa::Inst;
+using isa::Op;
+
+const char *
+branchClassName(BranchClass c)
+{
+    switch (c) {
+    case BranchClass::LoopBack: return "loop-back";
+    case BranchClass::DataDep: return "data-dep";
+    case BranchClass::Guard: return "guard";
+    case BranchClass::Goto: return "goto";
+    case BranchClass::Call: return "call";
+    case BranchClass::Return: return "return";
+    case BranchClass::Indirect: return "indirect";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+hasSucc(const BasicBlock &b, int id)
+{
+    return std::find(b.succs.begin(), b.succs.end(), id) != b.succs.end();
+}
+
+/**
+ * Hammock test for a forward conditional branch ending block @p b with
+ * taken-successor @p t and fall-through @p f:
+ *
+ *  - if-then: the fall-through side runs straight into the taken
+ *    target (succs(f) == {t}), or symmetrically the taken side runs
+ *    into the fall-through's successor;
+ *  - if-then-else: both sides are straight-line and rejoin at a common
+ *    block.
+ *
+ * Side blocks must be small (opts.maxHammockInsts) and single-exit.
+ */
+bool
+isHammock(const Cfg &cfg, int t, int f, const ClassifyOptions &opts)
+{
+    auto side_ok = [&](int id) {
+        const BasicBlock &s = cfg.blocks[id];
+        return s.succs.size() == 1 &&
+               s.insts.size() <= opts.maxHammockInsts;
+    };
+
+    // if-then: branch skips the fall-through side.
+    if (side_ok(f) && hasSucc(cfg.blocks[f], t))
+        return true;
+    // inverted if-then: branch takes the side, which rejoins below.
+    if (side_ok(t) && hasSucc(cfg.blocks[t], f))
+        return true;
+    // if-then-else: both sides rejoin at one block.
+    if (side_ok(t) && side_ok(f) &&
+        cfg.blocks[t].succs[0] == cfg.blocks[f].succs[0])
+        return true;
+    return false;
+}
+
+/** Describe the instruction that defines CR field used by @p branch. */
+std::string
+compareDetail(const Cfg &cfg, const ReachingDefs &rd, const CfgInst &branch,
+              const isa::SymbolResolver &sym)
+{
+    unsigned crf = branch.inst.bi / 4;
+    auto defs = rd.reachingAt(branch.pc, isa::depCrField(crf));
+    if (defs.size() != 1 || defs[0].block < 0)
+        return "";
+    const CfgInst &def = cfg.blocks[defs[0].block].insts[defs[0].idx];
+    std::string text = strprintf("cr set at 0x%llx: %s",
+                                 (unsigned long long)def.pc,
+                                 isa::disassemble(def.inst, def.pc, sym).c_str());
+    // Note when a compare operand comes straight from memory — the
+    // signature of a data-dependent DP-cell comparison.
+    const isa::OpInfo &info = def.inst.info();
+    {
+        std::vector<unsigned> operands;
+        if (info.readsRA)
+            operands.push_back(def.inst.ra);
+        if (info.readsRB)
+            operands.push_back(def.inst.rb);
+        for (unsigned reg : operands) {
+            auto operand_defs = rd.reachingAt(def.pc, reg);
+            bool from_load =
+                !operand_defs.empty() &&
+                std::all_of(operand_defs.begin(), operand_defs.end(),
+                            [&](const DefSite &s) {
+                                return s.block >= 0 &&
+                                       cfg.blocks[s.block]
+                                           .insts[s.idx]
+                                           .inst.info()
+                                           .isLoad;
+                            });
+            if (from_load) {
+                text += strprintf(" (%s loaded from memory)",
+                                  depRegName(reg).c_str());
+                break;
+            }
+        }
+    }
+    return text;
+}
+
+} // namespace
+
+std::vector<BranchSite>
+classifyBranches(const Cfg &cfg, const ClassifyOptions &opts)
+{
+    std::vector<BranchSite> sites;
+    isa::SymbolResolver sym = cfg.image.resolver();
+    ReachingDefs rd(cfg, abiEntryDefined());
+
+    for (const BasicBlock &b : cfg.blocks) {
+        for (const CfgInst &ci : b.insts) {
+            const isa::OpInfo &info = ci.inst.info();
+            if (!info.isBranch)
+                continue;
+
+            BranchSite site;
+            site.pc = ci.pc;
+            site.disasm = isa::disassemble(ci.inst, ci.pc, sym);
+
+            if (ci.inst.op == Op::BCLR) {
+                site.klass = BranchClass::Return;
+                site.conditional = ci.inst.bo != isa::BO_ALWAYS;
+            } else if (ci.inst.op == Op::BCCTR) {
+                site.klass = BranchClass::Indirect;
+                site.conditional = ci.inst.bo != isa::BO_ALWAYS;
+            } else if (ci.inst.op == Op::B || ci.inst.lk ||
+                       ci.inst.bo == isa::BO_ALWAYS) {
+                site.klass =
+                    ci.inst.lk ? BranchClass::Call : BranchClass::Goto;
+            } else {
+                site.conditional = true;
+                uint64_t target = ci.inst.aa
+                                      ? static_cast<uint64_t>(ci.inst.imm)
+                                      : ci.pc + static_cast<int64_t>(ci.inst.imm);
+                bool ctr_loop = ci.inst.bo == isa::BO_DNZ ||
+                                ci.inst.bo == isa::BO_DZ;
+                if (ctr_loop || target <= ci.pc) {
+                    site.klass = BranchClass::LoopBack;
+                } else {
+                    // Forward conditional: hammock => data-dependent.
+                    site.klass = BranchClass::Guard;
+                    if (&ci == &b.last() && b.succs.size() == 2) {
+                        const BasicBlock *tb = cfg.blockAt(target);
+                        const BasicBlock *fb = cfg.blockAt(ci.pc + 4);
+                        if (tb && fb && tb != fb &&
+                            isHammock(cfg, tb->id, fb->id, opts))
+                            site.klass = BranchClass::DataDep;
+                    }
+                    site.detail = compareDetail(cfg, rd, ci, sym);
+                }
+            }
+            sites.push_back(std::move(site));
+        }
+    }
+    std::sort(sites.begin(), sites.end(),
+              [](const BranchSite &a, const BranchSite &b) {
+                  return a.pc < b.pc;
+              });
+    return sites;
+}
+
+std::vector<ClassProfile>
+joinProfile(const std::vector<BranchSite> &sites,
+            const sim::BranchProfile &profile)
+{
+    constexpr BranchClass kOrder[] = {
+        BranchClass::LoopBack, BranchClass::DataDep,  BranchClass::Guard,
+        BranchClass::Goto,     BranchClass::Call,     BranchClass::Return,
+        BranchClass::Indirect,
+    };
+    std::vector<ClassProfile> classes;
+    for (BranchClass c : kOrder) {
+        ClassProfile cp;
+        cp.klass = c;
+        for (const BranchSite &s : sites) {
+            if (s.klass != c)
+                continue;
+            ++cp.sites;
+            auto it = profile.find(s.pc);
+            if (it != profile.end() && it->second.executions) {
+                ++cp.sitesExecuted;
+                cp.dynamic.add(it->second);
+            }
+        }
+        if (cp.sites)
+            classes.push_back(cp);
+    }
+    return classes;
+}
+
+std::vector<support::ResultRow>
+classProfileRows(const std::vector<ClassProfile> &classes)
+{
+    uint64_t total_exec = 0, total_mp = 0;
+    for (const ClassProfile &c : classes) {
+        total_exec += c.dynamic.executions;
+        total_mp += c.dynamic.mispredicts();
+    }
+
+    std::vector<support::ResultRow> rows;
+    for (const ClassProfile &c : classes) {
+        support::ResultRow row;
+        row.set("class", branchClassName(c.klass));
+        row.set("sites", c.sites);
+        row.set("executed_sites", c.sitesExecuted);
+        row.set("executions", c.dynamic.executions);
+        row.set("taken", c.dynamic.taken);
+        row.set("mispredicts", c.dynamic.mispredicts());
+        row.setPct("mispredict_rate",
+                   c.dynamic.executions
+                       ? double(c.dynamic.mispredicts()) /
+                             double(c.dynamic.executions)
+                       : 0.0);
+        row.setPct("share_of_mispredicts",
+                   total_mp ? double(c.dynamic.mispredicts()) /
+                                  double(total_mp)
+                            : 0.0);
+        rows.push_back(std::move(row));
+    }
+
+    support::ResultRow total;
+    total.set("class", "total");
+    total.set("sites",
+              std::accumulate(classes.begin(), classes.end(), 0u,
+                              [](unsigned a, const ClassProfile &c) {
+                                  return a + c.sites;
+                              }));
+    total.set("executed_sites",
+              std::accumulate(classes.begin(), classes.end(), 0u,
+                              [](unsigned a, const ClassProfile &c) {
+                                  return a + c.sitesExecuted;
+                              }));
+    total.set("executions", total_exec);
+    total.set("taken",
+              std::accumulate(classes.begin(), classes.end(), uint64_t{0},
+                              [](uint64_t a, const ClassProfile &c) {
+                                  return a + c.dynamic.taken;
+                              }));
+    total.set("mispredicts", total_mp);
+    total.setPct("mispredict_rate",
+                 total_exec ? double(total_mp) / double(total_exec) : 0.0);
+    total.setPct("share_of_mispredicts", total_mp ? 1.0 : 0.0);
+    rows.push_back(std::move(total));
+    return rows;
+}
+
+std::vector<support::ResultRow>
+siteProfileRows(const std::vector<BranchSite> &sites,
+                const sim::BranchProfile &profile, unsigned top_n)
+{
+    struct Joined
+    {
+        const BranchSite *site;
+        sim::BranchSiteStats stats;
+    };
+    std::vector<Joined> joined;
+    for (const BranchSite &s : sites) {
+        auto it = profile.find(s.pc);
+        if (it != profile.end() && it->second.executions)
+            joined.push_back({&s, it->second});
+    }
+    std::stable_sort(joined.begin(), joined.end(),
+                     [](const Joined &a, const Joined &b) {
+                         return a.stats.mispredicts() > b.stats.mispredicts();
+                     });
+    if (joined.size() > top_n)
+        joined.resize(top_n);
+
+    std::vector<support::ResultRow> rows;
+    for (const Joined &j : joined) {
+        support::ResultRow row;
+        row.set("pc", strprintf("0x%llx", (unsigned long long)j.site->pc));
+        row.set("class", branchClassName(j.site->klass));
+        row.set("disasm", j.site->disasm);
+        row.set("executions", j.stats.executions);
+        row.setPct("taken_rate", j.stats.executions
+                                     ? double(j.stats.taken) /
+                                           double(j.stats.executions)
+                                     : 0.0);
+        row.set("mispredicts", j.stats.mispredicts());
+        row.setPct("mispredict_rate",
+                   j.stats.executions
+                       ? double(j.stats.mispredicts()) /
+                             double(j.stats.executions)
+                       : 0.0);
+        if (!j.site->detail.empty())
+            row.set("detail", j.site->detail);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace bp5::analysis

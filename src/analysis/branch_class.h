@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Static branch taxonomy for MiniPOWER programs, and the join against
+ * the simulator's per-site PMU counters.
+ *
+ * The paper's central branch observation (sections IV-A/VI) is that
+ * the DP kernels' mispredictions concentrate in *data-dependent*
+ * branches — the cmp+branch hammocks compiled from max() expressions,
+ * whose direction depends on the sequence data and is near-random —
+ * while loop back-edges and guards predict well.  This pass recovers
+ * that taxonomy statically from the binary:
+ *
+ *   LoopBack  - conditional branch backwards, or any CTR-decrementing
+ *               branch (bdnz/bdz): closes a loop.
+ *   DataDep   - forward conditional branch forming a hammock (if-then
+ *               or if-then-else shape whose arms rejoin): the max()
+ *               pattern.
+ *   Guard     - any other forward conditional branch (early exits,
+ *               x-drop cutoffs, bounds checks).
+ *
+ * Unconditional control transfers are classified for completeness
+ * (Goto / Call / Return / Indirect) but carry no prediction question.
+ *
+ * joinProfile() merges this static table with a sim::BranchProfile
+ * collected from the same program, giving the static-class vs
+ * dynamic-misprediction breakdown the --analyze driver mode prints.
+ */
+
+#ifndef BIOPERF5_ANALYSIS_BRANCH_CLASS_H
+#define BIOPERF5_ANALYSIS_BRANCH_CLASS_H
+
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "sim/counters.h"
+#include "support/result.h"
+
+namespace bp5::analysis {
+
+enum class BranchClass
+{
+    LoopBack,
+    DataDep,
+    Guard,
+    Goto,    ///< unconditional b
+    Call,    ///< bl (lk set)
+    Return,  ///< blr
+    Indirect,///< bctr
+};
+
+const char *branchClassName(BranchClass c);
+
+/** One classified branch site. */
+struct BranchSite
+{
+    uint64_t pc = 0;
+    BranchClass klass = BranchClass::Goto;
+    bool conditional = false;
+    std::string disasm;
+    std::string detail; ///< e.g. the compare feeding the branch
+};
+
+struct ClassifyOptions
+{
+    /**
+     * Largest hammock side, in instructions, still considered a
+     * data-dependent diamond.  Generous relative to the if-converter's
+     * limit because branchy codegen keeps value traffic in memory.
+     */
+    unsigned maxHammockInsts = 24;
+};
+
+/** Classify every branch in the CFG (ascending pc). */
+std::vector<BranchSite> classifyBranches(const Cfg &cfg,
+                                         const ClassifyOptions &opts = {});
+
+/** Per-class aggregate of the PMU join. */
+struct ClassProfile
+{
+    BranchClass klass;
+    unsigned sites = 0;          ///< static sites of this class
+    unsigned sitesExecuted = 0;  ///< ... that executed at least once
+    sim::BranchSiteStats dynamic;///< summed PMU counters
+};
+
+/**
+ * Join classified sites with per-site PMU counters from a simulation
+ * of the same program.  Profile entries at addresses the classifier
+ * did not see are ignored (they cannot occur when both views come
+ * from the same image).
+ */
+std::vector<ClassProfile> joinProfile(const std::vector<BranchSite> &sites,
+                                      const sim::BranchProfile &profile);
+
+/** Rows for the static-vs-dynamic table (one per class, plus total). */
+std::vector<support::ResultRow>
+classProfileRows(const std::vector<ClassProfile> &classes);
+
+/** Rows for the per-site table, hottest mispredictors first. */
+std::vector<support::ResultRow>
+siteProfileRows(const std::vector<BranchSite> &sites,
+                const sim::BranchProfile &profile, unsigned top_n = 10);
+
+} // namespace bp5::analysis
+
+#endif // BIOPERF5_ANALYSIS_BRANCH_CLASS_H

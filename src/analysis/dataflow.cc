@@ -1,0 +1,290 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+
+#include "isa/inst.h"
+#include "support/logging.h"
+
+namespace bp5::analysis {
+
+using isa::Inst;
+using isa::Op;
+
+RegSet
+abiEntryDefined()
+{
+    RegSet set = regBit(0) | regBit(1) | regBit(isa::DEP_LR);
+    for (unsigned r = 3; r <= 10; ++r)
+        set |= regBit(r);
+    return set;
+}
+
+std::string
+depRegName(unsigned dep)
+{
+    if (dep < isa::kNumGprs)
+        return strprintf("r%u", dep);
+    if (dep >= isa::DEP_CRF0 && dep < isa::DEP_CRF0 + isa::kNumCrFields)
+        return strprintf("cr%u", dep - isa::DEP_CRF0);
+    if (dep == isa::DEP_LR)
+        return "lr";
+    if (dep == isa::DEP_CTR)
+        return "ctr";
+    return strprintf("dep%u", dep);
+}
+
+std::string
+regSetNames(RegSet set)
+{
+    std::string out;
+    for (unsigned dep = 0; dep < isa::kNumDepRegs; ++dep) {
+        if (!(set & regBit(dep)))
+            continue;
+        if (!out.empty())
+            out += ", ";
+        out += depRegName(dep);
+    }
+    return out;
+}
+
+DefUse
+defUse(const isa::Inst &inst)
+{
+    DefUse du;
+    unsigned deps[isa::kMaxDeps];
+    unsigned n = isa::srcDeps(inst, deps);
+    for (unsigned i = 0; i < n; ++i)
+        du.uses |= regBit(deps[i]);
+    n = isa::dstDeps(inst, deps);
+    for (unsigned i = 0; i < n; ++i)
+        du.defs |= regBit(deps[i]);
+    // The timing model has no register dependencies on sc, but the
+    // service semantically reads the selector and the payload.
+    if (inst.op == Op::SC)
+        du.uses |= regBit(0) | regBit(3);
+    return du;
+}
+
+namespace {
+
+/** Block-level GEN (defs) and upward-exposed USE sets. */
+struct BlockDefUse
+{
+    RegSet gen = 0;  ///< registers defined in the block
+    RegSet use = 0;  ///< registers read before any def in the block
+};
+
+std::vector<BlockDefUse>
+blockDefUse(const Cfg &cfg)
+{
+    std::vector<BlockDefUse> sets(cfg.blocks.size());
+    for (const BasicBlock &b : cfg.blocks) {
+        BlockDefUse &s = sets[b.id];
+        for (const CfgInst &ci : b.insts) {
+            DefUse du = defUse(ci.inst);
+            s.use |= du.uses & ~s.gen;
+            s.gen |= du.defs;
+        }
+    }
+    return sets;
+}
+
+} // namespace
+
+BlockSets
+possiblyDefined(const Cfg &cfg, RegSet entry_defined)
+{
+    size_t n = cfg.blocks.size();
+    BlockSets bs{std::vector<RegSet>(n, 0), std::vector<RegSet>(n, 0)};
+    std::vector<BlockDefUse> du = blockDefUse(cfg);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const BasicBlock &b : cfg.blocks) {
+            RegSet in = b.id == cfg.entryBlock ? entry_defined : 0;
+            for (int p : b.preds)
+                in |= bs.out[p];
+            RegSet out = in | du[b.id].gen;
+            if (in != bs.in[b.id] || out != bs.out[b.id]) {
+                bs.in[b.id] = in;
+                bs.out[b.id] = out;
+                changed = true;
+            }
+        }
+    }
+    return bs;
+}
+
+BlockSets
+liveness(const Cfg &cfg)
+{
+    size_t n = cfg.blocks.size();
+    BlockSets bs{std::vector<RegSet>(n, 0), std::vector<RegSet>(n, 0)};
+    std::vector<BlockDefUse> du = blockDefUse(cfg);
+
+    RegSet boundary = regBit(3); // result register / exit payload
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = cfg.blocks.rbegin(); it != cfg.blocks.rend(); ++it) {
+            const BasicBlock &b = *it;
+            RegSet out = 0;
+            if (b.succs.empty() || b.isReturn || b.isExit || b.indirectSucc)
+                out = boundary;
+            for (int s : b.succs)
+                out |= bs.in[s];
+            RegSet in = du[b.id].use | (out & ~du[b.id].gen);
+            if (in != bs.in[b.id] || out != bs.out[b.id]) {
+                bs.in[b.id] = in;
+                bs.out[b.id] = out;
+                changed = true;
+            }
+        }
+    }
+    return bs;
+}
+
+// --------------------------------------------------------------------
+// Reaching definitions.
+// --------------------------------------------------------------------
+
+ReachingDefs::ReachingDefs(const Cfg &cfg, RegSet entry_defined) : cfg_(cfg)
+{
+    sitesOfReg_.resize(isa::kNumDepRegs);
+
+    // Number real definition sites in block/instruction order.
+    for (const BasicBlock &b : cfg.blocks) {
+        for (unsigned i = 0; i < b.insts.size(); ++i) {
+            DefUse du = defUse(b.insts[i].inst);
+            for (unsigned dep = 0; dep < isa::kNumDepRegs; ++dep) {
+                if (!(du.defs & regBit(dep)))
+                    continue;
+                unsigned id = static_cast<unsigned>(sites_.size());
+                sites_.push_back({b.id, i, b.insts[i].pc, dep});
+                sitesOfReg_[dep].push_back(id);
+            }
+        }
+    }
+    numRealSites_ = sites_.size();
+
+    // Pseudo-definitions for ABI entry state.
+    for (unsigned dep = 0; dep < isa::kNumDepRegs; ++dep) {
+        if (!(entry_defined & regBit(dep)))
+            continue;
+        unsigned id = static_cast<unsigned>(sites_.size());
+        sites_.push_back({-1, 0, 0, dep});
+        sitesOfReg_[dep].push_back(id);
+    }
+
+    words_ = (sites_.size() + 63) / 64;
+    auto set_bit = [&](BitVec &v, unsigned id) { v[id / 64] |= 1ull << (id % 64); };
+
+    // Per-block GEN/KILL by forward scan: the last def of a register in
+    // a block generates; every def kills all other sites of that reg.
+    size_t n = cfg.blocks.size();
+    std::vector<BitVec> gen(n, BitVec(words_, 0));
+    std::vector<RegSet> killed_regs(n, 0);
+    std::vector<std::vector<unsigned>> last_def(
+        n, std::vector<unsigned>(isa::kNumDepRegs, UINT32_MAX));
+    {
+        unsigned id = 0;
+        for (const BasicBlock &b : cfg.blocks)
+            for (unsigned i = 0; i < b.insts.size(); ++i) {
+                DefUse du = defUse(b.insts[i].inst);
+                for (unsigned dep = 0; dep < isa::kNumDepRegs; ++dep)
+                    if (du.defs & regBit(dep)) {
+                        last_def[b.id][dep] = id;
+                        killed_regs[b.id] |= regBit(dep);
+                        ++id;
+                    }
+            }
+        for (size_t bi = 0; bi < n; ++bi)
+            for (unsigned dep = 0; dep < isa::kNumDepRegs; ++dep)
+                if (last_def[bi][dep] != UINT32_MAX)
+                    set_bit(gen[bi], last_def[bi][dep]);
+    }
+
+    in_.assign(n, BitVec(words_, 0));
+    std::vector<BitVec> out(n, BitVec(words_, 0));
+
+    // Entry pseudo-defs flow into the entry block.
+    BitVec entry_vec(words_, 0);
+    for (unsigned id = numRealSites_; id < sites_.size(); ++id)
+        set_bit(entry_vec, id);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const BasicBlock &b : cfg.blocks) {
+            BitVec in(words_, 0);
+            if (b.id == cfg.entryBlock)
+                in = entry_vec;
+            for (int p : b.preds)
+                for (size_t w = 0; w < words_; ++w)
+                    in[w] |= out[p][w];
+            // OUT = GEN | (IN - KILL)
+            BitVec o = in;
+            for (unsigned dep = 0; dep < isa::kNumDepRegs; ++dep)
+                if (killed_regs[b.id] & regBit(dep))
+                    for (unsigned sid : sitesOfReg_[dep])
+                        o[sid / 64] &= ~(1ull << (sid % 64));
+            for (size_t w = 0; w < words_; ++w)
+                o[w] |= gen[b.id][w];
+            if (in != in_[b.id] || o != out[b.id]) {
+                in_[b.id] = std::move(in);
+                out[b.id] = std::move(o);
+                changed = true;
+            }
+        }
+    }
+}
+
+void
+ReachingDefs::replayTo(int block, unsigned idx, BitVec &vec) const
+{
+    vec = in_[block];
+    const BasicBlock &b = cfg_.blocks[block];
+    // Site ids are allocated in scan order, so we can re-walk and apply
+    // each def's kill/gen until just before instruction idx.
+    for (unsigned i = 0; i < idx && i < b.insts.size(); ++i) {
+        DefUse du = defUse(b.insts[i].inst);
+        for (unsigned dep = 0; dep < isa::kNumDepRegs; ++dep) {
+            if (!(du.defs & regBit(dep)))
+                continue;
+            for (unsigned sid : sitesOfReg_[dep])
+                vec[sid / 64] &= ~(1ull << (sid % 64));
+            for (unsigned sid : sitesOfReg_[dep])
+                if (sites_[sid].block == block && sites_[sid].idx == i) {
+                    vec[sid / 64] |= 1ull << (sid % 64);
+                    break;
+                }
+        }
+    }
+}
+
+std::vector<DefSite>
+ReachingDefs::reaching(int block, unsigned idx, unsigned reg) const
+{
+    std::vector<DefSite> defs;
+    if (block < 0 || static_cast<size_t>(block) >= cfg_.blocks.size())
+        return defs;
+    BitVec vec;
+    replayTo(block, idx, vec);
+    for (unsigned sid : sitesOfReg_[reg])
+        if (vec[sid / 64] & (1ull << (sid % 64)))
+            defs.push_back(sites_[sid]);
+    return defs;
+}
+
+std::vector<DefSite>
+ReachingDefs::reachingAt(uint64_t pc, unsigned reg) const
+{
+    for (const BasicBlock &b : cfg_.blocks)
+        for (unsigned i = 0; i < b.insts.size(); ++i)
+            if (b.insts[i].pc == pc)
+                return reaching(b.id, i, reg);
+    return {};
+}
+
+} // namespace bp5::analysis

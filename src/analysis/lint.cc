@@ -1,0 +1,274 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+
+#include "isa/encode.h"
+#include "support/logging.h"
+
+namespace bp5::analysis {
+
+using isa::Inst;
+using isa::Op;
+
+const char *
+lintCodeName(LintCode code)
+{
+    switch (code) {
+    case LintCode::InvalidInstruction: return "invalid-instruction";
+    case LintCode::BranchToNonCode: return "branch-to-non-code";
+    case LintCode::BranchTargetUnaligned: return "branch-target-unaligned";
+    case LintCode::FallOffEnd: return "fall-off-end";
+    case LintCode::MaybeFallOffEnd: return "maybe-fall-off-end";
+    case LintCode::UndefinedRegisterRead: return "undefined-register-read";
+    case LintCode::UninitializedStoreBase: return "uninitialized-store-base";
+    case LintCode::UnreachableCode: return "unreachable-code";
+    case LintCode::DeadDefinition: return "dead-definition";
+    }
+    return "?";
+}
+
+unsigned
+LintReport::errors() const
+{
+    return static_cast<unsigned>(
+        std::count_if(diags.begin(), diags.end(), [](const Diagnostic &d) {
+            return d.severity == Severity::Error;
+        }));
+}
+
+unsigned
+LintReport::warnings() const
+{
+    return static_cast<unsigned>(diags.size()) - errors();
+}
+
+std::string
+LintReport::toText(const std::string &name) const
+{
+    std::string out;
+    for (const Diagnostic &d : diags) {
+        if (!name.empty())
+            out += name + ": ";
+        out += strprintf("%s: 0x%llx: [%s] %s",
+                         d.severity == Severity::Error ? "error" : "warning",
+                         (unsigned long long)d.pc, lintCodeName(d.code),
+                         d.message.c_str());
+        if (!d.disasm.empty())
+            out += strprintf("\n    > %s", d.disasm.c_str());
+        out += "\n";
+    }
+    return out;
+}
+
+std::vector<support::ResultRow>
+LintReport::toRows(const std::string &name) const
+{
+    std::vector<support::ResultRow> rows;
+    for (const Diagnostic &d : diags) {
+        support::ResultRow row;
+        if (!name.empty())
+            row.set("program", name);
+        row.set("severity",
+                d.severity == Severity::Error ? "error" : "warning");
+        row.set("code", lintCodeName(d.code));
+        row.set("pc", strprintf("0x%llx", (unsigned long long)d.pc));
+        row.set("disasm", d.disasm);
+        row.set("message", d.message);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+namespace {
+
+/** Disassembly of the instruction at @p pc, or "" when undecodable. */
+std::string
+disasmAt(const Cfg &cfg, uint64_t pc, const isa::SymbolResolver &sym)
+{
+    if (!cfg.image.contains(pc))
+        return "";
+    Inst inst = isa::decode(cfg.image.word(pc));
+    if (!inst.valid())
+        return strprintf(".word 0x%08x", cfg.image.word(pc));
+    return isa::disassemble(inst, pc, sym);
+}
+
+void
+lintCfgIssues(const Cfg &cfg, const isa::SymbolResolver &sym,
+              LintReport &report)
+{
+    for (const CfgIssue &issue : cfg.issues) {
+        Diagnostic d;
+        d.pc = issue.pc;
+        d.aux = issue.target;
+        d.disasm = disasmAt(cfg, issue.pc, sym);
+        switch (issue.kind) {
+        case CfgIssue::InvalidInstruction:
+            d.code = LintCode::InvalidInstruction;
+            d.severity = Severity::Error;
+            d.message = strprintf(
+                "reachable address does not decode (word 0x%08x, reached "
+                "from 0x%llx)",
+                cfg.image.contains(issue.pc) ? cfg.image.word(issue.pc) : 0u,
+                (unsigned long long)issue.from);
+            break;
+        case CfgIssue::BranchTargetOutside:
+            d.code = LintCode::BranchToNonCode;
+            d.severity = Severity::Error;
+            d.message = strprintf(
+                "branch target 0x%llx is outside the code image "
+                "[0x%llx, 0x%llx)",
+                (unsigned long long)issue.target,
+                (unsigned long long)cfg.image.base,
+                (unsigned long long)cfg.image.end());
+            break;
+        case CfgIssue::BranchTargetUnaligned:
+            d.code = LintCode::BranchTargetUnaligned;
+            d.severity = Severity::Error;
+            d.message =
+                strprintf("branch target 0x%llx is not 4-byte aligned",
+                          (unsigned long long)issue.target);
+            break;
+        case CfgIssue::FallOffEnd:
+            d.code = LintCode::FallOffEnd;
+            d.severity = Severity::Error;
+            d.message = "control flow falls off the end of the code image";
+            break;
+        case CfgIssue::MaybeFallOffEnd:
+            d.code = LintCode::MaybeFallOffEnd;
+            d.severity = Severity::Warning;
+            d.message = "last sc has an unprovable selector; control may "
+                        "fall off the end of the code image";
+            break;
+        }
+        report.diags.push_back(std::move(d));
+    }
+}
+
+void
+lintUndefinedReads(const Cfg &cfg, const LintOptions &opts,
+                   const isa::SymbolResolver &sym, LintReport &report)
+{
+    BlockSets defined = possiblyDefined(cfg, opts.entryDefined);
+    for (const BasicBlock &b : cfg.blocks) {
+        RegSet cur = defined.in[b.id];
+        for (const CfgInst &ci : b.insts) {
+            DefUse du = defUse(ci.inst);
+            RegSet undef = du.uses & ~cur;
+            // A store whose *base* is undefined gets the more specific
+            // diagnostic; other undefined operands still report below.
+            const isa::OpInfo &info = ci.inst.info();
+            if (info.isStore && (undef & regBit(ci.inst.ra)) &&
+                info.readsRA && !(isa::raIsBase(ci.inst.op) && ci.inst.ra == 0)) {
+                Diagnostic d;
+                d.code = LintCode::UninitializedStoreBase;
+                d.severity = Severity::Error;
+                d.pc = ci.pc;
+                d.disasm = isa::disassemble(ci.inst, ci.pc, sym);
+                d.message = strprintf(
+                    "store addresses through %s, which no path defines",
+                    depRegName(ci.inst.ra).c_str());
+                report.diags.push_back(std::move(d));
+                undef &= ~regBit(ci.inst.ra);
+            }
+            if (undef) {
+                Diagnostic d;
+                d.code = LintCode::UndefinedRegisterRead;
+                d.severity = Severity::Error;
+                d.pc = ci.pc;
+                d.disasm = isa::disassemble(ci.inst, ci.pc, sym);
+                d.message = strprintf("reads %s, which no path defines",
+                                      regSetNames(undef).c_str());
+                report.diags.push_back(std::move(d));
+            }
+            cur |= du.defs;
+        }
+    }
+}
+
+void
+lintUnreachable(const Cfg &cfg, LintReport &report)
+{
+    for (auto [start, len] : cfg.unreachableRuns()) {
+        Diagnostic d;
+        d.code = LintCode::UnreachableCode;
+        d.severity = Severity::Warning;
+        d.pc = start;
+        d.aux = len;
+        d.message = strprintf(
+            "%u decodable instruction%s unreachable from the entry "
+            "(dead code or data)",
+            len, len == 1 ? "" : "s");
+        report.diags.push_back(std::move(d));
+    }
+}
+
+void
+lintDeadDefs(const Cfg &cfg, const isa::SymbolResolver &sym,
+             LintReport &report)
+{
+    BlockSets live = liveness(cfg);
+    for (const BasicBlock &b : cfg.blocks) {
+        // Walk backwards tracking per-instruction liveness.
+        std::vector<RegSet> live_after(b.insts.size(), 0);
+        RegSet cur = live.out[b.id];
+        for (size_t i = b.insts.size(); i-- > 0;) {
+            live_after[i] = cur;
+            DefUse du = defUse(b.insts[i].inst);
+            cur = (cur & ~du.defs) | du.uses;
+        }
+        for (size_t i = 0; i < b.insts.size(); ++i) {
+            const CfgInst &ci = b.insts[i];
+            DefUse du = defUse(ci.inst);
+            // Only plain GPR results; CR/LR/CTR and r0 scratch are
+            // routinely written without a consumer.
+            RegSet gprs = du.defs & ((RegSet{1} << isa::kNumGprs) - 1) &
+                          ~regBit(0);
+            RegSet dead = gprs & ~live_after[i];
+            if (!dead || ci.inst.info().isLoad)
+                continue;
+            Diagnostic d;
+            d.code = LintCode::DeadDefinition;
+            d.severity = Severity::Warning;
+            d.pc = ci.pc;
+            d.disasm = isa::disassemble(ci.inst, ci.pc, sym);
+            d.message =
+                strprintf("defines %s but the value is never read",
+                          regSetNames(dead).c_str());
+            report.diags.push_back(std::move(d));
+        }
+    }
+}
+
+} // namespace
+
+LintReport
+lint(const Cfg &cfg, const LintOptions &opts)
+{
+    LintReport report;
+    isa::SymbolResolver sym = cfg.image.resolver();
+
+    lintCfgIssues(cfg, sym, report);
+    lintUndefinedReads(cfg, opts, sym, report);
+    lintUnreachable(cfg, report);
+    if (opts.pedantic)
+        lintDeadDefs(cfg, sym, report);
+
+    // Deterministic order: by address, errors before warnings.
+    std::stable_sort(report.diags.begin(), report.diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return a.severity < b.severity;
+                     });
+    return report;
+}
+
+LintReport
+lintProgram(const masm::Program &prog, const LintOptions &opts)
+{
+    Cfg cfg = buildCfg(CodeImage::fromProgram(prog));
+    return lint(cfg, opts);
+}
+
+} // namespace bp5::analysis

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Binary-level lint over a MiniPOWER program: CFG reconstruction plus
+ * dataflow feed a set of checks that report *definite* bugs — reads of
+ * registers no path ever defines, branches to non-instruction
+ * addresses, control flow falling off the end of the image, stores
+ * through never-initialized base registers — and structural warnings
+ * (unreachable code).  Diagnostics carry the offending address and the
+ * disassembly of the instruction so reports stand on their own.
+ */
+
+#ifndef BIOPERF5_ANALYSIS_LINT_H
+#define BIOPERF5_ANALYSIS_LINT_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "support/result.h"
+
+namespace bp5::analysis {
+
+/** Lint check identifiers (stable strings for JSON output). */
+enum class LintCode
+{
+    InvalidInstruction,     ///< reachable word does not decode
+    BranchToNonCode,        ///< branch target outside the image
+    BranchTargetUnaligned,  ///< branch target not 4-byte aligned
+    FallOffEnd,             ///< control flow runs past the image
+    MaybeFallOffEnd,        ///< last sc has an unprovable selector
+    UndefinedRegisterRead,  ///< no path defines the register
+    UninitializedStoreBase, ///< store addresses through such a register
+    UnreachableCode,        ///< decodable but unreachable instructions
+    DeadDefinition,         ///< GPR written but never read (pedantic)
+};
+
+const char *lintCodeName(LintCode code);
+
+enum class Severity { Error, Warning };
+
+/** One finding. */
+struct Diagnostic
+{
+    LintCode code;
+    Severity severity;
+    uint64_t pc = 0;      ///< offending instruction address
+    std::string disasm;   ///< its disassembly ("" for entry issues)
+    std::string message;  ///< human-readable detail
+    uint64_t aux = 0;     ///< target address / run length, per code
+};
+
+struct LintOptions
+{
+    /** Registers assumed defined at entry (kernel ABI by default). */
+    RegSet entryDefined = abiEntryDefined();
+
+    /** Also report dead GPR definitions (noisy on optimized code). */
+    bool pedantic = false;
+};
+
+/** Result of linting one program. */
+struct LintReport
+{
+    std::vector<Diagnostic> diags;
+
+    unsigned errors() const;
+    unsigned warnings() const;
+    bool clean() const { return diags.empty(); }
+
+    /** Multi-line human-readable report ("" when clean). */
+    std::string toText(const std::string &name = "") const;
+
+    /** One ResultRow per diagnostic (drives JSON Lines output). */
+    std::vector<support::ResultRow>
+    toRows(const std::string &name = "") const;
+};
+
+/** Run every check over an already-built CFG. */
+LintReport lint(const Cfg &cfg, const LintOptions &opts = {});
+
+/** Convenience: build the CFG and lint a program image. */
+LintReport lintProgram(const masm::Program &prog,
+                       const LintOptions &opts = {});
+
+} // namespace bp5::analysis
+
+#endif // BIOPERF5_ANALYSIS_LINT_H

@@ -7,23 +7,32 @@ namespace bp5::isa {
 
 namespace {
 
+/**
+ * Render the resolved branch target: label when the resolver knows
+ * the address, absolute hex otherwise.  Negative resolved addresses
+ * (possible only when disassembling with a fictitious pc) print in
+ * signed decimal so the assembler reads back the same displacement.
+ */
 std::string
-branchTarget(const Inst &inst, uint64_t pc)
+branchTarget(const Inst &inst, uint64_t pc, const SymbolResolver &sym)
 {
-    if (inst.aa || pc == 0)
-        return strprintf("0x%llx",
-                         static_cast<unsigned long long>(
-                             inst.aa ? static_cast<uint64_t>(inst.imm)
-                                     : pc + static_cast<int64_t>(inst.imm)));
-    return strprintf("0x%llx",
-                     static_cast<unsigned long long>(
-                         pc + static_cast<int64_t>(inst.imm)));
+    uint64_t target = inst.aa ? static_cast<uint64_t>(inst.imm)
+                              : pc + static_cast<int64_t>(inst.imm);
+    if (sym) {
+        std::string label = sym(target);
+        if (!label.empty())
+            return label;
+    }
+    if (static_cast<int64_t>(target) < 0) {
+        return strprintf("%lld", static_cast<long long>(target));
+    }
+    return strprintf("0x%llx", static_cast<unsigned long long>(target));
 }
 
 } // namespace
 
 std::string
-disassemble(const Inst &inst, uint64_t pc)
+disassemble(const Inst &inst, uint64_t pc, const SymbolResolver &sym)
 {
     if (!inst.valid())
         return "<invalid>";
@@ -61,10 +70,10 @@ disassemble(const Inst &inst, uint64_t pc)
                          inst.ra, inst.rb, inst.bi);
       case Format::I:
         return strprintf("%s%s %s", "b", inst.lk ? "l" : "",
-                         branchTarget(inst, pc).c_str());
+                         branchTarget(inst, pc, sym).c_str());
       case Format::BForm:
         return strprintf("bc%s %u, %u, %s", inst.lk ? "l" : "", inst.bo,
-                         inst.bi, branchTarget(inst, pc).c_str());
+                         inst.bi, branchTarget(inst, pc, sym).c_str());
       case Format::XLBranch:
         if (inst.bo == BO_ALWAYS)
             return inst.op == Op::BCLR ? "blr" : "bctr";
@@ -94,9 +103,9 @@ disassemble(const Inst &inst, uint64_t pc)
 }
 
 std::string
-disassemble(uint32_t word, uint64_t pc)
+disassemble(uint32_t word, uint64_t pc, const SymbolResolver &sym)
 {
-    return disassemble(decode(word), pc);
+    return disassemble(decode(word), pc, sym);
 }
 
 } // namespace bp5::isa

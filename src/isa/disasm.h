@@ -8,6 +8,7 @@
 #define BIOPERF5_ISA_DISASM_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "isa/inst.h"
@@ -15,14 +16,23 @@
 namespace bp5::isa {
 
 /**
- * Disassemble @p inst.  @p pc (byte address of the instruction) is used
- * to render relative branch targets as absolute addresses; pass 0 to
- * render raw offsets.
+ * Optional address-to-label lookup used to render branch targets as
+ * the label they resolve to.  Return "" for addresses with no label.
  */
-std::string disassemble(const Inst &inst, uint64_t pc = 0);
+using SymbolResolver = std::function<std::string(uint64_t)>;
+
+/**
+ * Disassemble @p inst.  @p pc (byte address of the instruction) is
+ * used to resolve relative branch displacements; branch targets are
+ * always rendered as the absolute address they resolve to (which the
+ * assembler round-trips), or as a label when @p sym names the target.
+ */
+std::string disassemble(const Inst &inst, uint64_t pc = 0,
+                        const SymbolResolver &sym = {});
 
 /** Decode and disassemble an instruction word. */
-std::string disassemble(uint32_t word, uint64_t pc = 0);
+std::string disassemble(uint32_t word, uint64_t pc = 0,
+                        const SymbolResolver &sym = {});
 
 } // namespace bp5::isa
 

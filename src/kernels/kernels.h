@@ -188,6 +188,16 @@ class KernelMachine
     /** Run functionally only (fast, no cycle counts). */
     void setFunctionalOnly(bool f) { functionalOnly_ = f; }
 
+    /**
+     * Collect per-branch-site PMU counters (see sim::BranchProfile).
+     * Accumulates across run() calls; cleared by reset().
+     */
+    void setBranchProfiling(bool on) { machine_.setBranchProfiling(on); }
+    const sim::BranchProfile &branchProfile() const
+    {
+        return machine_.branchProfile();
+    }
+
   private:
     int64_t invoke(const std::vector<uint64_t> &args, int64_t expected);
 

@@ -7,6 +7,7 @@
 
 #include "kernels/kernels.h"
 
+#include "analysis/lint.h"
 #include "support/logging.h"
 
 namespace bp5::kernels {
@@ -76,7 +77,17 @@ KernelMachine::KernelMachine(KernelKind kind, mpc::Variant variant,
     : kind_(kind), variant_(variant),
       compiled_(compileKernel(kind, variant)), machine_(config)
 {
-    machine_.loadProgram(compiled_.program(kCodeBase));
+    masm::Program prog = compiled_.program(kCodeBase);
+    // Load-time verification: a compiled kernel with a definite binary
+    // bug (undefined register read, branch out of the image, ...) must
+    // never reach the simulator — running it would corrupt experiment
+    // numbers far less visibly than this panic.
+    analysis::LintReport report = analysis::lintProgram(prog);
+    if (report.errors())
+        panic("compiled %s/%s kernel failed binary lint:\n%s",
+              kernelName(kind), mpc::variantName(variant),
+              report.toText().c_str());
+    machine_.loadProgram(prog);
 }
 
 void

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 
 #include "isa/opcodes.h"
 
@@ -144,6 +145,34 @@ struct Counters
     /** Accumulate @p other into this (for workload-level aggregation). */
     void add(const Counters &other);
 };
+
+/**
+ * Per-branch-site PMU counters (one record per static branch
+ * instruction, keyed by pc).  Collected only when branch profiling is
+ * enabled on the machine; the analysis layer joins these with its
+ * static branch classification.
+ */
+struct BranchSiteStats
+{
+    uint64_t executions = 0;
+    uint64_t taken = 0;
+    uint64_t mispredDirection = 0;
+    uint64_t mispredTarget = 0;
+
+    uint64_t mispredicts() const { return mispredDirection + mispredTarget; }
+
+    void
+    add(const BranchSiteStats &o)
+    {
+        executions += o.executions;
+        taken += o.taken;
+        mispredDirection += o.mispredDirection;
+        mispredTarget += o.mispredTarget;
+    }
+};
+
+/** Ordered pc -> site stats (ordered so reports are deterministic). */
+using BranchProfile = std::map<uint64_t, BranchSiteStats>;
 
 /** One point of the Fig-2 style timeline. */
 struct IntervalSample

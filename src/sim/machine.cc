@@ -127,6 +127,8 @@ Machine::reset()
     // anyway so a reset machine is indistinguishable from a fresh one
     // even for programs that store to their own code pages.
     exec_.invalidateDecodeCache();
+    branchProfiling_ = false;
+    branchProfile_.clear();
     timing_.reset();
 }
 
@@ -352,6 +354,17 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
         }
         if (redirect)
             ts.redirectShadow = config_.commitWidth;
+
+        if (branchProfiling_) {
+            BranchSiteStats &site = branchProfile_[info.pc];
+            ++site.executions;
+            if (info.taken)
+                ++site.taken;
+            if (direction_mispredict)
+                ++site.mispredDirection;
+            else if (target_mispredict)
+                ++site.mispredTarget;
+        }
     }
 
     // ------------------------------------------------------------ commit

@@ -88,6 +88,15 @@ class Machine
     const Cache &l2() const { return l2_; }
     const Btac &btac() const { return btac_; }
 
+    /**
+     * Collect per-branch-site PMU counters during timed runs (off by
+     * default; a map update per branch costs a few percent).  The
+     * profile accumulates across run() calls and clears on reset().
+     */
+    void setBranchProfiling(bool on) { branchProfiling_ = on; }
+    bool branchProfiling() const { return branchProfiling_; }
+    const BranchProfile &branchProfile() const { return branchProfile_; }
+
   private:
     struct TimingState;
 
@@ -104,6 +113,9 @@ class Machine
     Cache l1d_;
     std::unique_ptr<DirectionPredictor> predictor_;
     Btac btac_;
+
+    bool branchProfiling_ = false;
+    BranchProfile branchProfile_;
 
     std::unique_ptr<TimingState> timing_;
 };

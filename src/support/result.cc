@@ -1,10 +1,10 @@
-#include "driver/result.h"
+#include "support/result.h"
 
 #include <cstdio>
 
 #include "support/table.h"
 
-namespace bp5::driver {
+namespace bp5::support {
 
 namespace {
 
@@ -193,4 +193,4 @@ emitJsonLine(const std::vector<ResultRow> &rows, const std::string &title)
     return out;
 }
 
-} // namespace bp5::driver
+} // namespace bp5::support

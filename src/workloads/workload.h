@@ -69,6 +69,7 @@ struct SimResult
     std::vector<sim::IntervalSample> timeline;
     unsigned invocations = 0;
     mpc::Compiled compiled; ///< code statistics of the kernel build
+    sim::BranchProfile branchProfile; ///< per-site PMU (when enabled)
 };
 
 /** One of the four applications with generated inputs. */
@@ -92,9 +93,11 @@ class Workload
      * @param variant code variant (paper Fig 3)
      * @param mc machine configuration
      * @param interval_cycles nonzero to collect a Fig-2 timeline
+     * @param branch_profile collect per-branch-site PMU counters
      */
     SimResult simulate(mpc::Variant variant, const sim::MachineConfig &mc,
-                       uint64_t interval_cycles = 0) const;
+                       uint64_t interval_cycles = 0,
+                       bool branch_profile = false) const;
 
     /**
      * Simulate on a caller-supplied machine (must be built for this

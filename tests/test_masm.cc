@@ -213,6 +213,46 @@ TEST(Masm, RoundTripThroughDisassembler)
     EXPECT_EQ(p1.image, p2.image);
 }
 
+TEST(Masm, BranchTargetsRoundTripAsAbsoluteAddresses)
+{
+    // Branch targets disassemble as resolved absolute addresses (not
+    // raw displacements), so the output reassembles to the same image.
+    const char *src = R"(
+start:
+        li r3, 0
+loop:
+        addi r3, r3, 1
+        cmpdi cr0, r3, 5
+        blt cr0, loop
+        b end
+        nop
+end:
+        li r0, 0
+        sc
+)";
+    Program p1 = assemble(src, 0x10000);
+    std::string round;
+    for (size_t i = 0; i < p1.size() / 4; ++i)
+        round += isa::disassemble(instAt(p1, i), 0x10000 + 4 * i) + "\n";
+    EXPECT_NE(round.find("0x10004"), std::string::npos) << round;
+    EXPECT_EQ(round.find("bc 12, 0, 8"), std::string::npos)
+        << "raw displacement leaked into disassembly:\n"
+        << round;
+    Program p2 = assemble(round, 0x10000);
+    EXPECT_EQ(p1.image, p2.image) << round;
+
+    // A symbol resolver upgrades addresses to label names.
+    auto sym = [&](uint64_t addr) -> std::string {
+        for (const auto &[name, a] : p1.symbols)
+            if (a == addr)
+                return name;
+        return "";
+    };
+    std::string cond =
+        isa::disassemble(instAt(p1, 3), 0x10000 + 4 * 3, sym);
+    EXPECT_NE(cond.find("loop"), std::string::npos) << cond;
+}
+
 TEST(Masm, AssembleInstVector)
 {
     std::vector<isa::Inst> v = {isa::mkLi(3, 1), isa::mkSc()};

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * bp5-lint: binary-level static analyzer for MiniPOWER programs.
+ *
+ * Usage:
+ *   bp5-lint [options] file.masm ...     lint assembly source files
+ *   bp5-lint [options] --kernels         lint every compiled BioPerf
+ *                                        kernel in every code variant
+ *
+ * Options:
+ *   --json       emit one JSON Lines record per program instead of text
+ *   --pedantic   also warn about dead GPR definitions
+ *   --cfg        dump the reconstructed CFG of each program
+ *   --classify   print the static branch-class table of each program
+ *   --base=N     load address for .masm files (default 0x10000)
+ *
+ * Exit status: 0 when no program has lint errors, 1 otherwise
+ * (warnings do not fail the run), 2 on usage or input errors.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/branch_class.h"
+#include "analysis/lint.h"
+#include "kernels/kernels.h"
+#include "support/logging.h"
+#include "support/result.h"
+
+using namespace bp5;
+
+namespace {
+
+struct Options
+{
+    bool json = false;
+    bool pedantic = false;
+    bool dumpCfg = false;
+    bool classify = false;
+    bool kernels = false;
+    uint64_t base = 0x10000;
+    std::vector<std::string> files;
+};
+
+void
+usage()
+{
+    std::fputs(
+        "usage: bp5-lint [--json] [--pedantic] [--cfg] [--classify]\n"
+        "                [--base=ADDR] (file.masm ... | --kernels)\n",
+        stderr);
+}
+
+/** Lint one named program; returns its error count. */
+unsigned
+lintOne(const std::string &name, const masm::Program &prog,
+        const Options &opts)
+{
+    analysis::Cfg cfg =
+        analysis::buildCfg(analysis::CodeImage::fromProgram(prog));
+    analysis::LintOptions lo;
+    lo.pedantic = opts.pedantic;
+    analysis::LintReport report = analysis::lint(cfg, lo);
+
+    if (opts.dumpCfg)
+        std::fputs(cfg.dump().c_str(), stdout);
+
+    if (opts.json) {
+        std::fputs(
+            support::emitJsonLine(report.toRows(name), "lint:" + name)
+                .c_str(),
+            stdout);
+    } else if (!report.clean()) {
+        std::fputs(report.toText(name).c_str(), stdout);
+    } else {
+        std::printf("%s: clean (%zu instructions, %zu blocks)\n",
+                    name.c_str(), cfg.numInsts(), cfg.blocks.size());
+    }
+
+    if (opts.classify) {
+        auto sites = analysis::classifyBranches(cfg);
+        std::vector<support::ResultRow> rows;
+        for (const auto &s : sites) {
+            support::ResultRow row;
+            row.set("pc", strprintf("0x%llx", (unsigned long long)s.pc));
+            row.set("class", analysis::branchClassName(s.klass));
+            row.set("disasm", s.disasm);
+            if (!s.detail.empty())
+                row.set("detail", s.detail);
+            rows.push_back(std::move(row));
+        }
+        std::string title = "branches:" + name;
+        std::fputs(opts.json ? support::emitJsonLine(rows, title).c_str()
+                             : support::emitText(rows, title).c_str(),
+                   stdout);
+    }
+    return report.errors();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--pedantic") {
+            opts.pedantic = true;
+        } else if (arg == "--cfg") {
+            opts.dumpCfg = true;
+        } else if (arg == "--classify") {
+            opts.classify = true;
+        } else if (arg == "--kernels") {
+            opts.kernels = true;
+        } else if (arg.rfind("--base=", 0) == 0) {
+            opts.base = std::stoull(arg.substr(7), nullptr, 0);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage();
+            return 2;
+        } else {
+            opts.files.push_back(arg);
+        }
+    }
+    if (opts.files.empty() && !opts.kernels) {
+        usage();
+        return 2;
+    }
+
+    unsigned errors = 0;
+
+    for (const std::string &path : opts.files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "bp5-lint: cannot open %s\n", path.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+            masm::Program prog = masm::assemble(text.str(), opts.base);
+            errors += lintOne(path, prog, opts);
+        } catch (const masm::AsmError &e) {
+            std::fprintf(stderr, "bp5-lint: %s:%d: %s\n", path.c_str(),
+                         e.line, e.message.c_str());
+            return 2;
+        }
+    }
+
+    if (opts.kernels) {
+        for (unsigned k = 0;
+             k < unsigned(kernels::KernelKind::NUM_KERNELS); ++k) {
+            for (unsigned v = 0; v < unsigned(mpc::Variant::NUM_VARIANTS);
+                 ++v) {
+                auto kind = kernels::KernelKind(k);
+                auto variant = mpc::Variant(v);
+                mpc::Compiled compiled =
+                    kernels::compileKernel(kind, variant);
+                std::string name =
+                    strprintf("%s/%s", kernels::kernelName(kind),
+                              mpc::variantName(variant));
+                errors += lintOne(name, compiled.program(kernels::kCodeBase),
+                                  opts);
+            }
+        }
+    }
+
+    return errors ? 1 : 0;
+}

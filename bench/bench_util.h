@@ -14,11 +14,13 @@
 #ifndef BIOPERF5_BENCH_BENCH_UTIL_H
 #define BIOPERF5_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "driver/driver.h"
 #include "driver/result.h"
@@ -36,6 +38,8 @@ struct BenchOptions
     unsigned threads = 0; ///< sweep worker count; 0 = hardware
     bool json = false;    ///< emit result tables as JSON
     bool analyze = false; ///< join static branch classes with the PMU
+    std::string manifest; ///< run-manifest path ("-" = stdout, "" = off)
+    std::string pmuCsv;   ///< write the PMU interval series here
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -61,10 +65,15 @@ struct BenchOptions
                 o.json = true;
             } else if (a == "--analyze") {
                 o.analyze = true;
+            } else if (const char *v = val("--manifest=")) {
+                o.manifest = v;
+            } else if (const char *v = val("--pmu-csv=")) {
+                o.pmuCsv = v;
             } else if (a == "--help" || a == "-h") {
                 std::printf("usage: %s [--klass=A|B|C] [--budget=N] "
                             "[--seed=N] [--threads=N] [--json] "
-                            "[--analyze]\n",
+                            "[--analyze] [--manifest=PATH] "
+                            "[--pmu-csv=PATH]\n",
                             argv[0]);
                 std::exit(0);
             } else {
@@ -76,11 +85,14 @@ struct BenchOptions
         return o;
     }
 
-    /** The sweep driver configured from --threads. */
+    /** The sweep driver configured from --threads / --manifest. */
     driver::ExperimentDriver
     driver() const
     {
-        return driver::ExperimentDriver(threads);
+        driver::ExperimentDriver d(threads);
+        if (!manifest.empty())
+            d.setManifestPath(manifest);
+        return d;
     }
 
     /**
@@ -226,6 +238,25 @@ constexpr PaperFig6Row kPaperFig6[4] = {
     {"Fasta", 0.8, 69.0},
     {"Hmmer", 1.0, 51.0},
 };
+
+/**
+ * Render @p vals as a coarse ASCII sparkline over [@p lo, @p hi].  A
+ * degenerate range (hi <= lo: flat series, or caller passed the
+ * min/max of one) renders every point as the lowest glyph instead of
+ * dividing by zero.
+ */
+inline std::string
+sparkline(const std::vector<double> &vals, double lo, double hi)
+{
+    static const char *glyphs = " .:-=+*#%@";
+    std::string out;
+    for (double v : vals) {
+        double f = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+        f = std::max(0.0, std::min(1.0, f));
+        out += glyphs[static_cast<size_t>(f * 9.0)];
+    }
+    return out;
+}
 
 inline std::string
 pct(double fraction, int precision = 1)

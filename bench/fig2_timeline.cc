@@ -4,33 +4,20 @@
  * over time on the baseline POWER5.  Prints an interval series (an
  * ASCII sparkline plus CSV-like rows) showing that IPC tracks the
  * branch prediction rate.
+ *
+ * The series comes from the obs::PmuSampler attached to the kernel
+ * machine (the generalized instrument behind --pmu-csv and bp5-trace);
+ * the pre-obs bespoke sampling path is gone.
  */
 
 #include <cmath>
 
 #include "bench/bench_util.h"
+#include "obs/pmu_sampler.h"
 
 using namespace bp5;
 using namespace bp5::bench;
 using namespace bp5::workloads;
-
-namespace {
-
-/** Render values as a coarse ASCII sparkline. */
-std::string
-sparkline(const std::vector<double> &vals, double lo, double hi)
-{
-    static const char *glyphs = " .:-=+*#%@";
-    std::string out;
-    for (double v : vals) {
-        double f = (v - lo) / (hi - lo);
-        f = std::max(0.0, std::min(1.0, f));
-        out += glyphs[static_cast<size_t>(f * 9.0)];
-    }
-    return out;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -42,8 +29,21 @@ main(int argc, char **argv)
                 "ABC"[int(opts.klass)]);
 
     Workload w(opts.workload(App::Clustalw));
-    SimResult r = w.simulate(mpc::Variant::Baseline,
-                             sim::MachineConfig(), 20'000);
+    kernels::KernelMachine km(appKernel(App::Clustalw),
+                              mpc::Variant::Baseline,
+                              sim::MachineConfig());
+    km.setSampleInterval(20'000);
+    SimResult r = w.simulate(km);
+
+    if (!opts.pmuCsv.empty()) {
+        FILE *f = std::fopen(opts.pmuCsv.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", opts.pmuCsv.c_str());
+            return 1;
+        }
+        std::fputs(km.sampler()->toCsv().c_str(), f);
+        std::fclose(f);
+    }
 
     std::vector<double> ipc, mis;
     for (const auto &s : r.timeline) {

@@ -3,12 +3,23 @@
  * google-benchmark microbenchmarks of the simulator itself: functional
  * and timing simulation throughput (simulated instructions per second)
  * on the Smith-Waterman kernel, plus compile time of the mpc pipeline.
+ *
+ * With --json the binary skips google-benchmark and instead emits one
+ * JSON Lines record per (workload, mode) measuring simulated MIPS and
+ * host wall time across all four applications — the machine-readable
+ * perf trajectory CI archives as BENCH_sim_speed.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
 #include "bio/generator.h"
 #include "kernels/kernels.h"
+#include "support/result.h"
+#include "workloads/workload.h"
 
 using namespace bp5;
 using namespace bp5::kernels;
@@ -113,6 +124,72 @@ BM_AssembleRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_AssembleRoundTrip);
 
+/** One --json measurement: simulate @p app and report the speed. */
+support::ResultRow
+measureApp(workloads::App app, bool functional, uint64_t budget)
+{
+    workloads::WorkloadConfig wc;
+    wc.app = app;
+    wc.simInstructionBudget = budget;
+    workloads::Workload w(wc);
+    KernelMachine km(workloads::appKernel(app), mpc::Variant::Baseline,
+                     sim::MachineConfig());
+    km.setFunctionalOnly(functional);
+
+    auto t0 = std::chrono::steady_clock::now();
+    workloads::SimResult r = w.simulate(km);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    support::ResultRow row;
+    row.set("workload", workloads::appName(app))
+        .set("mode", functional ? "functional" : "timing")
+        .set("instructions", r.counters.instructions)
+        .set("cycles", r.counters.cycles)
+        .set("ipc", r.counters.ipc())
+        .set("invocations", uint64_t(r.invocations))
+        .set("wall_s", wall, 4)
+        .set("sim_mips",
+             wall > 0.0 ? double(r.counters.instructions) / wall / 1e6
+                        : 0.0,
+             2);
+    return row;
+}
+
+int
+jsonMain(uint64_t budget)
+{
+    std::vector<support::ResultRow> rows;
+    for (workloads::App app :
+         {workloads::App::Blast, workloads::App::Clustalw,
+          workloads::App::Fasta, workloads::App::Hmmer}) {
+        rows.push_back(measureApp(app, false, budget));
+        rows.push_back(measureApp(app, true, budget));
+    }
+    std::fputs(support::emitJsonLine(rows, "sim-speed").c_str(), stdout);
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    uint64_t budget = 2'000'000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strncmp(argv[i], "--budget=", 9) == 0)
+            budget = std::strtoull(argv[i] + 9, nullptr, 10);
+    }
+    if (json)
+        return jsonMain(budget);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

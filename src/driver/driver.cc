@@ -1,11 +1,14 @@
 #include "driver/driver.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <thread>
 #include <tuple>
 
+#include "obs/manifest.h"
 #include "support/logging.h"
 
 namespace bp5::driver {
@@ -70,6 +73,7 @@ class WorkerState
 void
 runPoint(WorkerState &state, const GridPoint &p, PointResult &out)
 {
+    auto t0 = std::chrono::steady_clock::now();
     workloads::Workload &w = state.workloadFor(p.workload);
     kernels::KernelMachine &km = state.machineFor(
         workloads::appKernel(p.workload.app), p.variant, p.machine);
@@ -77,6 +81,19 @@ runPoint(WorkerState &state, const GridPoint &p, PointResult &out)
         km.setSampleInterval(p.intervalCycles);
     out.label = p.label;
     out.sim = w.simulate(km);
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+}
+
+const char *
+inputClassName(workloads::InputClass k)
+{
+    switch (k) {
+    case workloads::InputClass::A: return "class A";
+    case workloads::InputClass::B: return "class B";
+    default: return "class C";
+    }
 }
 
 } // namespace
@@ -88,11 +105,57 @@ ExperimentDriver::ExperimentDriver(unsigned threads) : threads_(threads)
         if (threads_ == 0)
             threads_ = 1;
     }
+    if (const char *env = std::getenv("BP5_MANIFEST"))
+        manifestPath_ = env;
+}
+
+void
+ExperimentDriver::writeManifest(const std::vector<GridPoint> &grid,
+                                const std::vector<PointResult> &results,
+                                double wallSeconds) const
+{
+    lastManifest_.clear();
+
+    uint64_t instructions = 0;
+    for (const PointResult &r : results)
+        instructions += r.sim.counters.instructions;
+    support::ResultRow sweep;
+    sweep.set("tool", "driver")
+        .set("kind", "sweep")
+        .set("points", uint64_t(grid.size()))
+        .set("threads", threads_)
+        .set("instructions", instructions)
+        .set("wall_s", wallSeconds, 3)
+        .set("sim_mips",
+             wallSeconds > 0.0 ? double(instructions) / wallSeconds / 1e6
+                               : 0.0,
+             2);
+    lastManifest_.push_back(std::move(sweep));
+
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const GridPoint &p = grid[i];
+        obs::RunInfo info;
+        info.tool = "driver";
+        info.workload = workloads::appName(p.workload.app);
+        info.variant = mpc::variantName(p.variant);
+        info.input = inputClassName(p.workload.klass);
+        info.invocations = results[i].sim.invocations;
+        info.wallSeconds = results[i].wallSeconds;
+        info.machine = p.machine;
+        info.counters = results[i].sim.counters;
+        support::ResultRow row = obs::manifestRow(info);
+        row.set("label", p.label.empty() ? "-" : p.label)
+            .set("kind", "point");
+        lastManifest_.push_back(std::move(row));
+    }
+
+    obs::appendManifest(manifestPath_, lastManifest_, "run-manifest");
 }
 
 std::vector<PointResult>
 ExperimentDriver::run(const std::vector<GridPoint> &grid) const
 {
+    auto t0 = std::chrono::steady_clock::now();
     std::vector<PointResult> results(grid.size());
     if (grid.empty())
         return results;
@@ -105,28 +168,33 @@ ExperimentDriver::run(const std::vector<GridPoint> &grid) const
         WorkerState state;
         for (size_t i = 0; i < grid.size(); ++i)
             runPoint(state, grid[i], results[i]);
-        return results;
+    } else {
+        // Self-scheduling: workers pull the next unclaimed index.
+        // Result placement is by index, so completion order never
+        // matters.
+        std::atomic<size_t> next{0};
+        auto work = [&]() {
+            WorkerState state;
+            for (;;) {
+                size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= grid.size())
+                    break;
+                runPoint(state, grid[i], results[i]);
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
     }
 
-    // Self-scheduling: workers pull the next unclaimed index.  Result
-    // placement is by index, so completion order never matters.
-    std::atomic<size_t> next{0};
-    auto work = [&]() {
-        WorkerState state;
-        for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= grid.size())
-                break;
-            runPoint(state, grid[i], results[i]);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t)
-        pool.emplace_back(work);
-    for (std::thread &t : pool)
-        t.join();
+    writeManifest(grid, results,
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
     return results;
 }
 

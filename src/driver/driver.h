@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "support/result.h"
 #include "workloads/workload.h"
 
 namespace bp5::driver {
@@ -44,6 +45,7 @@ struct PointResult
 {
     std::string label;
     workloads::SimResult sim;
+    double wallSeconds = 0.0; ///< host wall time of this point
 };
 
 /** Fixed-size thread-pool sweep runner. */
@@ -56,6 +58,21 @@ class ExperimentDriver
     unsigned threads() const { return threads_; }
 
     /**
+     * Where to append the JSON-Lines run manifest ("-" = stdout, "" =
+     * off).  Defaults to $BP5_MANIFEST when that is set.  One record
+     * per run() call: a sweep summary row plus one row per grid point
+     * (machine config, workload, counters, wall time, simulated MIPS).
+     */
+    void setManifestPath(std::string path) { manifestPath_ = std::move(path); }
+    const std::string &manifestPath() const { return manifestPath_; }
+
+    /** The manifest rows of the most recent run() call. */
+    const std::vector<support::ResultRow> &manifest() const
+    {
+        return lastManifest_;
+    }
+
+    /**
      * Run every point of @p grid and return results in grid order.
      * Panics propagate (a kernel/reference mismatch aborts the
      * process, exactly as in a serial run).
@@ -63,7 +80,14 @@ class ExperimentDriver
     std::vector<PointResult> run(const std::vector<GridPoint> &grid) const;
 
   private:
+    void writeManifest(const std::vector<GridPoint> &grid,
+                       const std::vector<PointResult> &results,
+                       double wallSeconds) const;
+
     unsigned threads_;
+    std::string manifestPath_;
+    /** Bookkeeping of the last run; does not affect results. */
+    mutable std::vector<support::ResultRow> lastManifest_;
 };
 
 } // namespace bp5::driver

@@ -32,11 +32,14 @@
 #define BIOPERF5_KERNELS_KERNELS_H
 
 #include <cstdint>
+#include <memory>
 
 #include "bio/align.h"
 #include "bio/hmm.h"
 #include "bio/parsimony.h"
 #include "mpc/compiler.h"
+#include "obs/pmu_sampler.h"
+#include "obs/trace_mux.h"
 #include "sim/machine.h"
 
 namespace bp5::kernels {
@@ -178,11 +181,28 @@ class KernelMachine
     /** The underlying machine (cache/BTAC stats inspection). */
     const sim::Machine &machine() const { return machine_; }
 
-    /** Timeline samples (set interval before running; 0 = off). */
-    void setSampleInterval(uint64_t cycles) { interval_ = cycles; }
-    const std::vector<sim::IntervalSample> &timeline() const
+    /**
+     * Sample PMU counters every @p cycles cycles (0 = off) through an
+     * internal obs::PmuSampler; the cycle axis is continuous across
+     * run() calls.  @p site_series additionally records per-branch-site
+     * deltas per window.  Replaces any previous sampler.
+     */
+    void setSampleInterval(uint64_t cycles, bool site_series = false);
+
+    /** The internal sampler (nullptr when sampling is off). */
+    const obs::PmuSampler *sampler() const { return sampler_.get(); }
+
+    /**
+     * Attach an external trace sink (Perfetto/Konata writer, ...) fed
+     * alongside the internal sampler.  Non-owning; nullptr detaches.
+     */
+    void setTraceSink(sim::TraceSink *sink);
+
+    /** Fig-2 style timeline from the sampler (empty when off). */
+    std::vector<sim::IntervalSample> timeline() const
     {
-        return timeline_;
+        return sampler_ ? sampler_->timeline()
+                        : std::vector<sim::IntervalSample>();
     }
 
     /** Run functionally only (fast, no cycle counts). */
@@ -200,14 +220,16 @@ class KernelMachine
 
   private:
     int64_t invoke(const std::vector<uint64_t> &args, int64_t expected);
+    void rewire();
 
     KernelKind kind_;
     mpc::Variant variant_;
     mpc::Compiled compiled_;
     sim::Machine machine_;
     sim::Counters totals_;
-    std::vector<sim::IntervalSample> timeline_;
-    uint64_t interval_ = 0;
+    std::unique_ptr<obs::PmuSampler> sampler_;
+    sim::TraceSink *external_ = nullptr;
+    obs::TraceMux mux_;
     bool functionalOnly_ = false;
 };
 

@@ -93,11 +93,40 @@ KernelMachine::KernelMachine(KernelKind kind, mpc::Variant variant,
 void
 KernelMachine::reset()
 {
-    machine_.reset();
+    machine_.reset(); // also detaches the machine-side trace sink
     totals_ = sim::Counters();
-    timeline_.clear();
-    interval_ = 0;
+    sampler_.reset();
+    external_ = nullptr;
+    mux_.clear();
     functionalOnly_ = false;
+}
+
+void
+KernelMachine::setSampleInterval(uint64_t cycles, bool site_series)
+{
+    sampler_ = cycles ? std::make_unique<obs::PmuSampler>(cycles,
+                                                          site_series)
+                      : nullptr;
+    rewire();
+}
+
+void
+KernelMachine::setTraceSink(sim::TraceSink *sink)
+{
+    external_ = sink;
+    rewire();
+}
+
+void
+KernelMachine::rewire()
+{
+    mux_.clear();
+    mux_.add(sampler_.get());
+    mux_.add(external_);
+    // Skip the mux indirection when a single sink is attached.
+    machine_.setTraceSink(mux_.empty()
+                              ? nullptr
+                              : (mux_.size() == 1 ? mux_.front() : &mux_));
 }
 
 int64_t
@@ -112,7 +141,7 @@ KernelMachine::invoke(const std::vector<uint64_t> &args, int64_t expected)
 
     sim::RunResult r = functionalOnly_
                            ? machine_.runFunctional(500'000'000)
-                           : machine_.run(500'000'000, interval_);
+                           : machine_.run(500'000'000);
     if (!r.halted) {
         panic("kernel %s (%s) did not halt", kernelName(kind_),
               mpc::variantName(variant_));
@@ -123,14 +152,7 @@ KernelMachine::invoke(const std::vector<uint64_t> &args, int64_t expected)
               static_cast<long long>(r.exitCode),
               static_cast<long long>(expected));
     }
-    uint64_t cycleBase = totals_.cycles;
     totals_.add(r.counters);
-    if (interval_) {
-        for (sim::IntervalSample s : r.timeline) {
-            s.cycle += cycleBase;
-            timeline_.push_back(s);
-        }
-    }
     return r.exitCode;
 }
 

@@ -1,0 +1,250 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace bp5::obs {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : fields)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : s_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        if (!value(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing garbage");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *msg)
+    {
+        error_ = strprintf("JSON error at offset %zu: %s", pos_, msg);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            ++n;
+        if (s_.compare(pos_, n, word) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    break;
+                char e = s_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // ASCII only; wider code points are replaced.
+                    out += cp < 0x80 ? char(cp) : '?';
+                    break;
+                }
+                default:
+                    return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        std::string tok = s_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            return fail("bad number");
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        char c = s_[pos_];
+        switch (c) {
+        case '{': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_] != '"')
+                    return fail("expected object key");
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                JsonValue member;
+                if (!value(member, depth + 1))
+                    return false;
+                out.fields.emplace_back(std::move(key), std::move(member));
+                skipWs();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < s_.size() && s_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        case '[': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue elem;
+                if (!value(elem, depth + 1))
+                    return false;
+                out.items.push_back(std::move(elem));
+                skipWs();
+                if (pos_ < s_.size() && s_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < s_.size() && s_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        default:
+            return number(out);
+        }
+    }
+
+    const std::string &s_;
+    std::string &error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    out = JsonValue();
+    error.clear();
+    return Parser(text, error).parse(out);
+}
+
+} // namespace bp5::obs

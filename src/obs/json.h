@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser, just enough to validate and
+ * inspect the documents this repo emits (Chrome trace-event files,
+ * ResultRow JSON, manifest JSON Lines).  Objects preserve key order;
+ * numbers are kept as doubles.  Not a general-purpose parser — no
+ * \uXXXX surrogate pairs, no extreme nesting (depth-limited).
+ */
+
+#ifndef BIOPERF5_OBS_JSON_H
+#define BIOPERF5_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bp5::obs {
+
+/** One parsed JSON value (tree). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items; ///< array elements
+    std::vector<std::pair<std::string, JsonValue>> fields; ///< object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage is an error).  On failure returns false and sets
+ * @p error to a position-tagged message.
+ */
+bool parseJson(const std::string &text, JsonValue &out, std::string &error);
+
+} // namespace bp5::obs
+
+#endif // BIOPERF5_OBS_JSON_H

@@ -1,0 +1,107 @@
+#include "obs/konata_sink.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "isa/disasm.h"
+#include "support/logging.h"
+
+namespace bp5::obs {
+
+KonataSink::KonataSink(uint64_t max_insts) : maxInsts_(max_insts) {}
+
+void
+KonataSink::onFlush(const sim::FlushRecord &)
+{
+    // Event order per instruction is misses, branch, flush, InstRecord,
+    // so the flag applies to the instruction about to be recorded.
+    pendingFlush_ = true;
+}
+
+void
+KonataSink::onInstruction(const sim::InstRecord &r, const sim::Counters &)
+{
+    bool flushed = pendingFlush_;
+    pendingFlush_ = false;
+    if (rows_.size() >= maxInsts_) {
+        ++dropped_;
+        return;
+    }
+    Row row;
+    row.id = nextId_++;
+    row.seq = r.seq;
+    row.fetch = global(r.fetchCycle);
+    row.dispatch = global(r.dispatchCycle);
+    row.issue = global(r.issueCycle);
+    row.writeback = global(r.writebackCycle);
+    row.commit = global(r.commitCycle);
+    row.flushedAfter = flushed;
+    row.text = isa::disassemble(r.inst, r.pc);
+    rows_.push_back(std::move(row));
+}
+
+std::string
+KonataSink::finish() const
+{
+    // Flatten every row into (cycle, command) pairs, then emit the
+    // stream cycle-sorted with C-advance commands in between.
+    struct Cmd
+    {
+        uint64_t cycle;
+        std::string text;
+    };
+    std::vector<Cmd> cmds;
+    cmds.reserve(rows_.size() * 6);
+    for (const Row &r : rows_) {
+        unsigned long long id = r.id;
+        cmds.push_back({r.fetch,
+                        strprintf("I\t%llu\t%llu\t0\n", id,
+                                  (unsigned long long)r.seq) +
+                            strprintf("L\t%llu\t0\t%s\n", id,
+                                      r.text.c_str()) +
+                            strprintf("S\t%llu\t0\tF\n", id)});
+        cmds.push_back({r.dispatch, strprintf("S\t%llu\t0\tD\n", id)});
+        cmds.push_back({r.issue, strprintf("S\t%llu\t0\tX\n", id)});
+        cmds.push_back({r.writeback, strprintf("S\t%llu\t0\tW\n", id)});
+        std::string retire = strprintf("R\t%llu\t%llu\t0\n", id, id);
+        if (r.flushedAfter)
+            retire = strprintf("L\t%llu\t1\tredirects fetch\n", id) + retire;
+        cmds.push_back({r.commit, retire});
+    }
+    std::stable_sort(cmds.begin(), cmds.end(),
+                     [](const Cmd &a, const Cmd &b) {
+                         return a.cycle < b.cycle;
+                     });
+
+    std::string out = "Kanata\t0004\n";
+    uint64_t cur = cmds.empty() ? 0 : cmds.front().cycle;
+    out += strprintf("C=\t%llu\n", (unsigned long long)cur);
+    for (const Cmd &c : cmds) {
+        if (c.cycle > cur) {
+            out += strprintf("C\t%llu\n", (unsigned long long)(c.cycle - cur));
+            cur = c.cycle;
+        }
+        out += c.text;
+    }
+    return out;
+}
+
+bool
+KonataSink::writeTo(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    std::string doc = finish();
+    size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (n != doc.size()) {
+        warn("short write to %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace bp5::obs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Konata pipeline-log writer (Kanata 0004 format, as consumed by the
+ * Konata viewer, github.com/shioyadan/Konata).  Each retired
+ * instruction becomes one row with stage occupancy F (fetch), D
+ * (dispatch/decode), X (issue/execute), W (writeback-to-commit), so
+ * the classic pipeline diagram of the model's in-order-commit POWER5
+ * approximation can be scrolled through instruction by instruction.
+ *
+ * The timing model delivers each instruction's whole lifecycle at once
+ * (one-pass model), so the sink buffers rows and emits the cycle-sorted
+ * command stream in finish().
+ */
+
+#ifndef BIOPERF5_OBS_KONATA_SINK_H
+#define BIOPERF5_OBS_KONATA_SINK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_mux.h"
+
+namespace bp5::obs {
+
+/** Buffering Kanata-0004 writer; see the file comment. */
+class KonataSink final : public RebasingSink
+{
+  public:
+    /** @param max_insts stop recording beyond this many instructions */
+    explicit KonataSink(uint64_t max_insts = 200'000);
+
+    // TraceSink
+    void onInstruction(const sim::InstRecord &r,
+                       const sim::Counters &c) override;
+    void onFlush(const sim::FlushRecord &r) override;
+
+    uint64_t instCount() const { return rows_.size(); }
+    uint64_t droppedInsts() const { return dropped_; }
+
+    /** The complete Kanata log text. */
+    std::string finish() const;
+
+    /** Write finish() to @p path; false (with log) on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    struct Row
+    {
+        uint64_t id;      ///< file-scope instruction id (unique)
+        uint64_t seq;     ///< run-local dynamic index
+        uint64_t fetch, dispatch, issue, writeback, commit; // global cycles
+        bool flushedAfter; ///< a flush resolved at this instruction
+        std::string text;  ///< disassembly label
+    };
+
+    uint64_t maxInsts_;
+    uint64_t dropped_ = 0;
+    uint64_t nextId_ = 0;
+    bool pendingFlush_ = false;
+    std::vector<Row> rows_;
+};
+
+} // namespace bp5::obs
+
+#endif // BIOPERF5_OBS_KONATA_SINK_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Machine-readable run manifests.  Every experiment entry point (the
+ * ExperimentDriver, bp5-trace, the benches) can describe a run — what
+ * machine, what workload, how long it took on the host, how fast the
+ * simulator ran — as ResultRow records and append them to a manifest
+ * file as JSON Lines, one self-contained record per run, so downstream
+ * tooling can track the perf trajectory of both the model and the
+ * simulator itself.
+ *
+ * The layer deliberately speaks strings for workload/variant names (no
+ * dependency on src/workloads), keeping obs below kernels and driver
+ * in the link order.
+ */
+
+#ifndef BIOPERF5_OBS_MANIFEST_H
+#define BIOPERF5_OBS_MANIFEST_H
+
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/counters.h"
+#include "support/result.h"
+
+namespace bp5::obs {
+
+/** Everything a manifest row says about one run. */
+struct RunInfo
+{
+    std::string tool;     ///< emitting binary ("bp5-trace", "driver", ...)
+    std::string workload; ///< app or kernel name
+    std::string variant;  ///< code variant ("Original", "hand isel", ...)
+    std::string input;    ///< input description ("class B", "n=400", ...)
+    uint64_t invocations = 0; ///< kernel invocations folded into counters
+    double wallSeconds = 0.0; ///< host wall time of the simulation
+    sim::MachineConfig machine;
+    sim::Counters counters;
+};
+
+/** Append the interesting MachineConfig knobs as cells of @p row. */
+void addMachineCells(support::ResultRow &row, const sim::MachineConfig &mc);
+
+/** Append the headline counter summary as cells of @p row. */
+void addCounterCells(support::ResultRow &row, const sim::Counters &c);
+
+/** The full manifest row for @p info (identity, machine, counters,
+ *  wall time and simulated MIPS). */
+support::ResultRow manifestRow(const RunInfo &info);
+
+/**
+ * Append @p rows to @p path as one JSON Lines record titled @p title
+ * ("-" writes to stdout).  @return false (with a warning) on I/O
+ * failure; an empty @p path is a silent no-op returning true.
+ */
+bool appendManifest(const std::string &path,
+                    const std::vector<support::ResultRow> &rows,
+                    const std::string &title = "run-manifest");
+
+} // namespace bp5::obs
+
+#endif // BIOPERF5_OBS_MANIFEST_H

@@ -1,0 +1,216 @@
+#include "obs/perfetto_sink.h"
+
+#include <cstdio>
+
+#include "isa/disasm.h"
+#include "sim/config.h"
+#include "support/logging.h"
+
+namespace bp5::obs {
+
+namespace {
+
+const char *
+stallReasonName(sim::StallReason r)
+{
+    switch (r) {
+    case sim::StallReason::None: return "none";
+    case sim::StallReason::Frontend: return "frontend";
+    case sim::StallReason::Branch: return "branch";
+    case sim::StallReason::FXU: return "fxu";
+    case sim::StallReason::LSU: return "lsu";
+    default: return "other";
+    }
+}
+
+const char *
+flushCauseName(sim::FlushRecord::Cause c)
+{
+    switch (c) {
+    case sim::FlushRecord::Cause::Direction: return "direction";
+    case sim::FlushRecord::Cause::Target: return "target";
+    default: return "btac-steer";
+    }
+}
+
+const char *
+missLevelName(sim::CacheMissRecord::Level l)
+{
+    switch (l) {
+    case sim::CacheMissRecord::Level::L1I: return "L1I miss";
+    case sim::CacheMissRecord::Level::L1D: return "L1D miss";
+    default: return "L2 miss";
+    }
+}
+
+/** Escape for a JSON string literal (mnemonics/disasm are ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        if (ch == '"' || ch == '\\') {
+            out += '\\';
+            out += ch;
+        } else if (static_cast<unsigned char>(ch) < 0x20) {
+            out += strprintf("\\u%04x", unsigned(ch));
+        } else {
+            out += ch;
+        }
+    }
+    return out;
+}
+
+constexpr unsigned kFlushLaneOffset = 0;  ///< lanes_ + 0
+constexpr unsigned kMissLaneOffset = 1;   ///< lanes_ + 1
+constexpr unsigned kCounterLaneOffset = 2;
+
+} // namespace
+
+PerfettoSink::PerfettoSink(unsigned lanes, uint64_t max_events)
+    : lanes_(lanes ? lanes : 1), maxEvents_(max_events)
+{
+}
+
+bool
+PerfettoSink::admit()
+{
+    if (events_ >= maxEvents_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+PerfettoSink::append(std::string event)
+{
+    if (!body_.empty())
+        body_ += ",\n";
+    body_ += event;
+    ++events_;
+}
+
+void
+PerfettoSink::onRunBegin(const sim::MachineConfig &mc)
+{
+    if (headerDone_)
+        return;
+    headerDone_ = true;
+    append(strprintf("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+                     "\"args\":{\"name\":\"bp5-sim (fxu=%u btac=%s)\"}}",
+                     mc.numFXU, mc.btacEnabled ? "on" : "off"));
+    for (unsigned l = 0; l < lanes_; ++l)
+        append(strprintf("{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                         "\"name\":\"thread_name\","
+                         "\"args\":{\"name\":\"pipe-%u\"}}",
+                         l, l));
+    append(strprintf("{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                     "\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"flushes\"}}",
+                     lanes_ + kFlushLaneOffset));
+    append(strprintf("{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                     "\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"cache-misses\"}}",
+                     lanes_ + kMissLaneOffset));
+}
+
+void
+PerfettoSink::onRunEnd(const sim::Counters &final)
+{
+    // Counter tracks get one point per run boundary: cheap, and a
+    // KernelMachine experiment produces one point per invocation.
+    if (admit())
+        append(strprintf(
+            "{\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+            "\"name\":\"run counters\",\"args\":{\"ipc\":%.4f,"
+            "\"mispredict_rate\":%.4f,\"l1d_miss_rate\":%.4f}}",
+            lanes_ + kCounterLaneOffset,
+            (unsigned long long)global(final.cycles), final.ipc(),
+            final.branchMispredictRate(), final.l1dMissRate()));
+    RebasingSink::onRunEnd(final);
+}
+
+void
+PerfettoSink::onInstruction(const sim::InstRecord &r, const sim::Counters &)
+{
+    if (!admit())
+        return;
+    uint64_t ts = global(r.fetchCycle);
+    uint64_t end = global(r.commitCycle);
+    uint64_t dur = end > ts ? end - ts : 1;
+    std::string name = jsonEscape(isa::disassemble(r.inst, r.pc));
+    append(strprintf(
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%llu,\"dur\":%llu,"
+        "\"cat\":\"inst\",\"name\":\"%s\",\"args\":{\"pc\":\"0x%llx\","
+        "\"seq\":%llu,\"dispatch\":%llu,\"issue\":%llu,"
+        "\"writeback\":%llu,\"stall\":\"%s\"%s%s%s}}",
+        (unsigned long long)(r.seq % lanes_), (unsigned long long)ts,
+        (unsigned long long)dur, name.c_str(), (unsigned long long)r.pc,
+        (unsigned long long)r.seq,
+        (unsigned long long)global(r.dispatchCycle),
+        (unsigned long long)global(r.issueCycle),
+        (unsigned long long)global(r.writebackCycle),
+        stallReasonName(r.stall),
+        r.mispredicted ? ",\"mispredicted\":true" : "",
+        r.l1dMiss ? ",\"l1d_miss\":true" : "",
+        r.l2Miss ? ",\"l2_miss\":true" : ""));
+}
+
+void
+PerfettoSink::onFlush(const sim::FlushRecord &r)
+{
+    if (!admit())
+        return;
+    append(strprintf(
+        "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%llu,\"s\":\"t\","
+        "\"cat\":\"flush\",\"name\":\"flush (%s)\","
+        "\"args\":{\"pc\":\"0x%llx\",\"refetch\":%llu}}",
+        lanes_ + kFlushLaneOffset,
+        (unsigned long long)global(r.resolveCycle), flushCauseName(r.cause),
+        (unsigned long long)r.pc, (unsigned long long)global(r.refetchCycle)));
+}
+
+void
+PerfettoSink::onCacheMiss(const sim::CacheMissRecord &r)
+{
+    if (!admit())
+        return;
+    append(strprintf(
+        "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%llu,\"s\":\"t\","
+        "\"cat\":\"mem\",\"name\":\"%s\","
+        "\"args\":{\"pc\":\"0x%llx\",\"addr\":\"0x%llx\"}}",
+        lanes_ + kMissLaneOffset, (unsigned long long)global(r.cycle),
+        missLevelName(r.level), (unsigned long long)r.pc,
+        (unsigned long long)r.addr));
+}
+
+std::string
+PerfettoSink::finish() const
+{
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    out += body_;
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+PerfettoSink::writeTo(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open %s for writing", path.c_str());
+        return false;
+    }
+    std::string doc = finish();
+    size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (n != doc.size()) {
+        warn("short write to %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace bp5::obs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chrome trace-event JSON writer.  Produces a trace loadable by
+ * Perfetto (ui.perfetto.dev) or chrome://tracing: one duration slice
+ * per retired instruction (fetch-to-commit, striped across a fixed
+ * number of lanes so overlapping instructions stay visible), instant
+ * events for pipeline flushes and cache misses, and counter tracks
+ * (IPC, mispredict rate, L1D miss rate) updated at every run boundary.
+ *
+ * Cycles are written as microsecond timestamps 1:1 — the viewer's
+ * "us" readout is simply the cycle number.
+ */
+
+#ifndef BIOPERF5_OBS_PERFETTO_SINK_H
+#define BIOPERF5_OBS_PERFETTO_SINK_H
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace_mux.h"
+
+namespace bp5::obs {
+
+/** Streaming Chrome trace-event writer; see the file comment. */
+class PerfettoSink final : public RebasingSink
+{
+  public:
+    /**
+     * @param lanes instruction slices are striped over this many
+     *        threads of the trace (seq % lanes)
+     * @param max_events stop recording (and count drops) beyond this
+     *        many events, bounding memory on long runs
+     */
+    explicit PerfettoSink(unsigned lanes = 8,
+                          uint64_t max_events = 2'000'000);
+
+    // TraceSink
+    void onRunBegin(const sim::MachineConfig &mc) override;
+    void onRunEnd(const sim::Counters &final) override;
+    void onInstruction(const sim::InstRecord &r,
+                       const sim::Counters &c) override;
+    void onFlush(const sim::FlushRecord &r) override;
+    void onCacheMiss(const sim::CacheMissRecord &r) override;
+
+    uint64_t eventCount() const { return events_; }
+    uint64_t droppedEvents() const { return dropped_; }
+
+    /** The complete JSON document (object form, traceEvents array). */
+    std::string finish() const;
+
+    /** Write finish() to @p path; false (with log) on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    bool admit();
+    void append(std::string event);
+
+    unsigned lanes_;
+    uint64_t maxEvents_;
+    uint64_t events_ = 0;
+    uint64_t dropped_ = 0;
+    bool headerDone_ = false;
+    std::string body_; ///< comma-joined event objects
+};
+
+} // namespace bp5::obs
+
+#endif // BIOPERF5_OBS_PERFETTO_SINK_H

@@ -144,6 +144,9 @@ struct Counters
 
     /** Accumulate @p other into this (for workload-level aggregation). */
     void add(const Counters &other);
+
+    /** Field-wise equality (the tracing-invariance tests rely on it). */
+    friend bool operator==(const Counters &, const Counters &) = default;
 };
 
 /**

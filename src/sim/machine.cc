@@ -82,10 +82,6 @@ struct Machine::TimingState
     // Store-to-load forwarding (direct-mapped, tag-checked).
     struct StoreSlot { uint64_t addr = ~0ULL; uint64_t complete = 0; };
     std::array<StoreSlot, 4096> storeTable{};
-
-    // Timeline sampling.
-    uint64_t nextSampleCycle = 0;
-    Counters lastSampleCounters;
 };
 
 Machine::Machine(const MachineConfig &config)
@@ -129,6 +125,7 @@ Machine::reset()
     exec_.invalidateDecodeCache();
     branchProfiling_ = false;
     branchProfile_.clear();
+    sink_ = nullptr;
     timing_.reset();
 }
 
@@ -160,6 +157,7 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     const isa::Inst &inst = info.inst;
     const isa::OpInfo &opi = inst.info();
     const unsigned frontDepth = config_.frontendDepth;
+    const uint64_t seqno = ts.seq; ///< dynamic index of this instruction
 
     // ------------------------------------------------------------ fetch
     uint64_t fc = ts.fetchAvail;
@@ -178,12 +176,22 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     ++c.l1iAccesses;
     uint64_t before = l1i_.stats().misses;
     unsigned ilat = l1i_.access(info.pc, false);
-    if (l1i_.stats().misses != before) {
+    bool icache_miss = l1i_.stats().misses != before;
+    if (icache_miss) {
         ++c.l1iMisses;
         fc += ilat;
         ts.fetchAvail = fc;
         ts.fetchCycleCursor = fc;
         ts.fetchedThisCycle = 1;
+        if (sink_) {
+            CacheMissRecord mr;
+            mr.level = CacheMissRecord::Level::L1I;
+            mr.seq = seqno;
+            mr.pc = info.pc;
+            mr.addr = info.pc;
+            mr.cycle = fc;
+            sink_->onCacheMiss(mr);
+        }
     }
 
     bool fetch_after_redirect = ts.redirectShadow > 0;
@@ -255,6 +263,7 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     // ---------------------------------------------------------- complete
     uint64_t latency = opi.latency;
     bool dcache_miss = false;
+    bool l2_miss = false;
     if (info.isLoad || info.isStore) {
         ++c.l1dAccesses;
         uint64_t dm_before = l1d_.stats().misses;
@@ -264,8 +273,26 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
             ++c.l1dMisses;
             dcache_miss = true;
         }
-        if (l2_.stats().misses != l2_before)
+        if (l2_.stats().misses != l2_before) {
             ++c.l2Misses;
+            l2_miss = true;
+        }
+        if (sink_ && (dcache_miss || l2_miss)) {
+            CacheMissRecord mr;
+            mr.seq = seqno;
+            mr.pc = info.pc;
+            mr.addr = info.memAddr;
+            mr.cycle = ic;
+            mr.isStore = info.isStore;
+            if (dcache_miss) {
+                mr.level = CacheMissRecord::Level::L1D;
+                sink_->onCacheMiss(mr);
+            }
+            if (l2_miss) {
+                mr.level = CacheMissRecord::Level::L2;
+                sink_->onCacheMiss(mr);
+            }
+        }
         if (info.isLoad) {
             latency = 1 + extra; // L1 hit => 1 + hitLatency = 2
         } else {
@@ -290,6 +317,8 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
 
     // ---------------------------------------------------------- branches
     bool redirect = false;
+    bool direction_mispredict = false;
+    bool target_mispredict = false;
     if (info.isBranch) {
         ++c.branches;
         if (info.taken)
@@ -299,17 +328,16 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
         if (config_.btacEnabled)
             bl = btac_.lookup(info.pc);
 
-        bool direction_mispredict = false;
+        bool pred = false;
         if (info.isCondBranch) {
             ++c.condBranches;
-            bool pred = predictor_->predict(info.pc);
+            pred = predictor_->predict(info.pc);
             predictor_->update(info.pc, info.taken);
             direction_mispredict = pred != info.taken;
         }
 
         // Indirect branches: bclr is covered by a (modelled-perfect)
         // link stack; bcctr needs the BTAC for its target.
-        bool target_mispredict = false;
         if (inst.op == isa::Op::BCCTR && info.taken &&
             !(bl.predict && bl.nia == info.target)) {
             target_mispredict = true;
@@ -354,6 +382,36 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
         }
         if (redirect)
             ts.redirectShadow = config_.commitWidth;
+
+        if (sink_) {
+            BranchRecord br;
+            br.seq = seqno;
+            br.pc = info.pc;
+            br.target = info.target;
+            br.resolveCycle = cc;
+            br.conditional = info.isCondBranch;
+            br.taken = info.taken;
+            br.predictedTaken = pred;
+            br.directionMispredict = direction_mispredict;
+            br.targetMispredict = target_mispredict;
+            br.btacPredicted = bl.predict;
+            br.btacCorrect = bl.predict && info.taken &&
+                             bl.nia == info.target;
+            sink_->onBranch(br);
+            if (redirect) {
+                FlushRecord fr;
+                fr.seq = seqno;
+                fr.pc = info.pc;
+                fr.resolveCycle = cc;
+                fr.refetchCycle = ts.fetchAvail;
+                fr.cause = direction_mispredict
+                               ? FlushRecord::Cause::Direction
+                           : target_mispredict
+                               ? FlushRecord::Cause::Target
+                               : FlushRecord::Cause::BtacSteer;
+                sink_->onFlush(fr);
+            }
+        }
 
         if (branchProfiling_) {
             BranchSiteStats &site = branchProfile_[info.pc];
@@ -431,49 +489,153 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     if (info.isStore)
         ++c.stores;
     c.cycles = commit;
+
+    if (sink_) {
+        InstRecord rec;
+        rec.seq = seqno;
+        rec.pc = info.pc;
+        rec.inst = inst;
+        rec.fetchCycle = fc;
+        rec.dispatchCycle = dc;
+        rec.issueCycle = ic;
+        rec.writebackCycle = cc;
+        rec.commitCycle = commit;
+        rec.stall = reason;
+        rec.isBranch = info.isBranch;
+        rec.isCondBranch = info.isCondBranch;
+        rec.taken = info.isBranch && info.taken;
+        rec.mispredicted = direction_mispredict || target_mispredict;
+        rec.isLoad = info.isLoad;
+        rec.isStore = info.isStore;
+        rec.memAddr = info.memAddr;
+        rec.l1iMiss = icache_miss;
+        rec.l1dMiss = dcache_miss;
+        rec.l2Miss = l2_miss;
+        sink_->onInstruction(rec, c);
+    }
 }
 
 RunResult
-Machine::run(uint64_t max_instructions, uint64_t interval_cycles)
+Machine::run(uint64_t max_instructions)
 {
     RunResult res;
     timing_ = std::make_unique<TimingState>(config_);
     TimingState &ts = *timing_;
     Counters &c = res.counters;
-    if (interval_cycles)
-        ts.nextSampleCycle = interval_cycles;
+    if (sink_)
+        sink_->onRunBegin(config_);
 
     for (uint64_t n = 0; n < max_instructions; ++n) {
         StepInfo info = exec_.step();
         scheduleInstruction(info, ts, c);
-
-        if (interval_cycles && c.cycles >= ts.nextSampleCycle) {
-            const Counters &prev = ts.lastSampleCounters;
-            IntervalSample s;
-            s.cycle = c.cycles;
-            uint64_t dc = c.cycles - prev.cycles;
-            uint64_t di = c.instructions - prev.instructions;
-            uint64_t db = c.condBranches - prev.condBranches;
-            uint64_t dm = (c.mispredDirection + c.mispredTarget) -
-                          (prev.mispredDirection + prev.mispredTarget);
-            uint64_t da = c.l1dAccesses - prev.l1dAccesses;
-            uint64_t dmiss = c.l1dMisses - prev.l1dMisses;
-            s.ipc = dc ? double(di) / double(dc) : 0.0;
-            s.branchMispredictRate = db ? double(dm) / double(db) : 0.0;
-            s.l1dMissRate = da ? double(dmiss) / double(da) : 0.0;
-            res.timeline.push_back(s);
-            ts.lastSampleCounters = c;
-            while (ts.nextSampleCycle <= c.cycles)
-                ts.nextSampleCycle += interval_cycles;
-        }
-
         if (info.halted) {
             res.halted = true;
             res.exitCode = info.exitCode;
             break;
         }
     }
+    if (sink_)
+        sink_->onRunEnd(c);
     res.console = exec_.console();
+    return res;
+}
+
+namespace {
+
+/**
+ * Deprecated-shim sampler: reproduces the pre-obs run(max, interval)
+ * timeline bit-for-bit — run-local cycles, sampling phase starting at
+ * one interval, no trailing partial sample — on top of the generic
+ * event hook, chaining to any sink the caller had attached.
+ */
+class LegacyTimelineSink final : public TraceSink
+{
+  public:
+    LegacyTimelineSink(uint64_t interval, TraceSink *chain)
+        : interval_(interval), next_(interval), chain_(chain)
+    {
+    }
+
+    TraceSink *chain() const { return chain_; }
+
+    void
+    onRunBegin(const MachineConfig &mc) override
+    {
+        if (chain_)
+            chain_->onRunBegin(mc);
+    }
+    void
+    onRunEnd(const Counters &final) override
+    {
+        if (chain_)
+            chain_->onRunEnd(final);
+    }
+    void
+    onBranch(const BranchRecord &r) override
+    {
+        if (chain_)
+            chain_->onBranch(r);
+    }
+    void
+    onFlush(const FlushRecord &r) override
+    {
+        if (chain_)
+            chain_->onFlush(r);
+    }
+    void
+    onCacheMiss(const CacheMissRecord &r) override
+    {
+        if (chain_)
+            chain_->onCacheMiss(r);
+    }
+
+    void
+    onInstruction(const InstRecord &r, const Counters &c) override
+    {
+        if (chain_)
+            chain_->onInstruction(r, c);
+        if (c.cycles < next_)
+            return;
+        const Counters &prev = prev_;
+        IntervalSample s;
+        s.cycle = c.cycles;
+        uint64_t dc = c.cycles - prev.cycles;
+        uint64_t di = c.instructions - prev.instructions;
+        uint64_t db = c.condBranches - prev.condBranches;
+        uint64_t dm = (c.mispredDirection + c.mispredTarget) -
+                      (prev.mispredDirection + prev.mispredTarget);
+        uint64_t da = c.l1dAccesses - prev.l1dAccesses;
+        uint64_t dmiss = c.l1dMisses - prev.l1dMisses;
+        s.ipc = dc ? double(di) / double(dc) : 0.0;
+        s.branchMispredictRate = db ? double(dm) / double(db) : 0.0;
+        s.l1dMissRate = da ? double(dmiss) / double(da) : 0.0;
+        samples.push_back(s);
+        prev_ = c;
+        while (next_ <= c.cycles)
+            next_ += interval_;
+    }
+
+    std::vector<IntervalSample> samples;
+
+  private:
+    uint64_t interval_;
+    uint64_t next_;
+    Counters prev_;
+    TraceSink *chain_;
+};
+
+} // namespace
+
+RunResult
+Machine::run(uint64_t max_instructions, uint64_t interval_cycles)
+{
+    if (interval_cycles == 0)
+        return run(max_instructions);
+    LegacyTimelineSink legacy(interval_cycles, sink_);
+    sink_ = &legacy;
+    RunResult res = run(max_instructions);
+    sink_ = legacy.chain();
+    res.timeline = std::move(legacy.samples);
     return res;
 }
 

@@ -31,6 +31,7 @@
 #include "sim/exec.h"
 #include "sim/memory.h"
 #include "sim/predictor.h"
+#include "sim/trace.h"
 
 namespace bp5::sim {
 
@@ -38,6 +39,8 @@ namespace bp5::sim {
 struct RunResult
 {
     Counters counters;
+    /** Filled only by the deprecated run(max, interval) shim; the
+     *  general mechanism is an obs::PmuSampler trace sink. */
     std::vector<IntervalSample> timeline;
     bool halted = false;
     int64_t exitCode = 0;
@@ -69,12 +72,20 @@ class Machine
 
     /**
      * Run with full timing from the current PC until SYS_EXIT or
-     * @p max_instructions.
-     * @param interval_cycles if nonzero, record a timeline sample every
-     *        that many cycles (Fig 2).
+     * @p max_instructions.  Events stream to the attached trace sink
+     * (if any); RunResult::timeline stays empty — attach an
+     * obs::PmuSampler for interval series.
      */
-    RunResult run(uint64_t max_instructions = UINT64_MAX,
-                  uint64_t interval_cycles = 0);
+    RunResult run(uint64_t max_instructions = UINT64_MAX);
+
+    /**
+     * @deprecated Compatibility shim for the pre-obs interval API: a
+     * nonzero @p interval_cycles records a run-local Fig-2 timeline
+     * into RunResult::timeline with the historical semantics (sampling
+     * phase restarts each run, no trailing partial sample).  New code
+     * should attach an obs::PmuSampler via setTraceSink() instead.
+     */
+    RunResult run(uint64_t max_instructions, uint64_t interval_cycles);
 
     /**
      * Run functionally only (no cycle accounting; counters contain
@@ -97,6 +108,15 @@ class Machine
     bool branchProfiling() const { return branchProfiling_; }
     const BranchProfile &branchProfile() const { return branchProfile_; }
 
+    /**
+     * Attach an event observer (non-owning; nullptr detaches, and
+     * reset() detaches).  With no sink the timing model pays one
+     * null-pointer test per retired instruction and its Counters are
+     * bit-identical to a build without tracing at all.
+     */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+    TraceSink *traceSink() const { return sink_; }
+
   private:
     struct TimingState;
 
@@ -116,6 +136,7 @@ class Machine
 
     bool branchProfiling_ = false;
     BranchProfile branchProfile_;
+    TraceSink *sink_ = nullptr;
 
     std::unique_ptr<TimingState> timing_;
 };

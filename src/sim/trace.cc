@@ -1,0 +1,8 @@
+#include "sim/trace.h"
+
+namespace bp5::sim {
+
+// Anchor the vtable here rather than emitting it in every TU.
+TraceSink::~TraceSink() = default;
+
+} // namespace bp5::sim

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * bp5-trace: observability front-end for the simulated POWER5.  Runs
+ * one kernel (canned deterministic inputs) or one full workload, with
+ * any combination of trace sinks attached:
+ *
+ *   --perfetto=PATH  Chrome trace-event JSON (open in ui.perfetto.dev)
+ *   --konata=PATH    Konata pipeline log (github.com/shioyadan/Konata)
+ *   --pmu-csv=PATH   per-interval PMU counter series (CSV)
+ *
+ * Selection:
+ *   --kernel=NAME    forward_pass | dropgsw | P7Viterbi |
+ *                    SEMI_G_ALIGN | sankoff
+ *   --app=NAME       Blast | Clustalw | Fasta | Hmmer (workload mode)
+ *   --variant=NAME   Original | hand isel | hand max | comp. isel |
+ *                    comp. max | Combination (punctuation optional)
+ *   --machine=NAME   baseline | btac | fxu3 | fxu4 | enhanced
+ *   --klass=A|B|C    input class (app mode)
+ *
+ * Sampling and output:
+ *   --interval=N     PMU sampling interval in cycles (default 10000)
+ *   --sites          per-branch-site series, joined with the static
+ *                    branch classes of the binary (table output)
+ *   --budget=N       instruction budget (default 2000000)
+ *   --seed=N         input-generation seed (default 42)
+ *   --max-events=N   event cap for the perfetto/konata writers
+ *   --json           machine-readable output (JSON Lines) on stdout
+ *   --manifest=PATH  append the run manifest ("-" = stdout)
+ *
+ * Exit status: 0 on success, 2 on usage errors.
+ */
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/branch_class.h"
+#include "bio/generator.h"
+#include "bio/parsimony.h"
+#include "kernels/kernels.h"
+#include "obs/konata_sink.h"
+#include "obs/manifest.h"
+#include "obs/perfetto_sink.h"
+#include "obs/pmu_sampler.h"
+#include "obs/trace_mux.h"
+#include "support/logging.h"
+#include "workloads/workload.h"
+
+using namespace bp5;
+
+namespace {
+
+struct Options
+{
+    std::string kernel;
+    std::string app;
+    std::string variant = "Original";
+    std::string machine = "baseline";
+    std::string klass = "B";
+    uint64_t budget = 2'000'000;
+    uint64_t seed = 42;
+    uint64_t interval = 10'000;
+    uint64_t maxEvents = 2'000'000;
+    std::string perfetto;
+    std::string konata;
+    std::string pmuCsv;
+    std::string manifest;
+    bool sites = false;
+    bool json = false;
+};
+
+void
+usage()
+{
+    std::fputs(
+        "usage: bp5-trace (--kernel=NAME | --app=NAME) [--variant=NAME]\n"
+        "                 [--machine=baseline|btac|fxu3|fxu4|enhanced]\n"
+        "                 [--klass=A|B|C] [--budget=N] [--seed=N]\n"
+        "                 [--interval=N] [--sites] [--max-events=N]\n"
+        "                 [--perfetto=PATH] [--konata=PATH]\n"
+        "                 [--pmu-csv=PATH] [--manifest=PATH] [--json]\n",
+        stderr);
+}
+
+/** Case/punctuation-insensitive name form ("comp. isel" -> "compisel"). */
+std::string
+normalized(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += char(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+mpc::Variant
+variantFromString(const std::string &s)
+{
+    std::string want = normalized(s);
+    if (want == "baseline")
+        return mpc::Variant::Baseline;
+    for (int v = 0; v < int(mpc::Variant::NUM_VARIANTS); ++v) {
+        if (normalized(mpc::variantName(mpc::Variant(v))) == want)
+            return mpc::Variant(v);
+    }
+    fatal("unknown variant '%s'", s.c_str());
+}
+
+kernels::KernelKind
+kernelFromString(const std::string &s)
+{
+    std::string want = normalized(s);
+    for (int k = 0; k < int(kernels::KernelKind::NUM_KERNELS); ++k) {
+        if (normalized(kernels::kernelName(kernels::KernelKind(k))) == want)
+            return kernels::KernelKind(k);
+    }
+    fatal("unknown kernel '%s'", s.c_str());
+}
+
+sim::MachineConfig
+machineFromString(const std::string &s)
+{
+    std::string want = normalized(s);
+    if (want == "baseline")
+        return sim::MachineConfig::power5Baseline();
+    if (want == "btac")
+        return sim::MachineConfig::power5WithBtac();
+    if (want == "fxu3")
+        return sim::MachineConfig::power5WithFxu(3);
+    if (want == "fxu4")
+        return sim::MachineConfig::power5WithFxu(4);
+    if (want == "enhanced")
+        return sim::MachineConfig::power5Enhanced();
+    fatal("unknown machine '%s'", s.c_str());
+}
+
+/** Canned deterministic inputs for one kernel; keeps invoking until
+ *  the instruction budget is consumed.  @return invocation count. */
+uint64_t
+runKernel(kernels::KernelMachine &km, const Options &opts)
+{
+    uint64_t invocations = 0;
+    auto exhausted = [&]() {
+        return km.totals().instructions >= opts.budget;
+    };
+
+    switch (km.kind()) {
+    case kernels::KernelKind::ForwardPass:
+    case kernels::KernelKind::Dropgsw: {
+        bio::SequenceGenerator g(opts.seed);
+        bio::Sequence a = g.random(120, "a");
+        bio::Sequence b =
+            g.mutate(a, bio::MutationModel{0.3, 0.05, 0.05}, "b");
+        kernels::AlignProblem p{&a, &b,
+                                &bio::SubstitutionMatrix::blosum62(),
+                                bio::GapPenalty{10, 1}};
+        do {
+            km.run(p);
+            ++invocations;
+        } while (!exhausted());
+        break;
+    }
+    case kernels::KernelKind::P7Viterbi: {
+        bio::SequenceGenerator g(opts.seed);
+        auto fam = g.family(5, 40, bio::MutationModel{0.15, 0.02, 0.02});
+        bio::Plan7Model model = bio::Plan7Model::fromFamily(fam);
+        do {
+            for (size_t i = 0; i < fam.size() && !exhausted(); ++i) {
+                kernels::ViterbiProblem p{&model, &fam[i]};
+                km.run(p);
+                ++invocations;
+            }
+        } while (!exhausted());
+        break;
+    }
+    case kernels::KernelKind::SemiGAlign: {
+        bio::SequenceGenerator g(opts.seed);
+        bio::Sequence a = g.random(150, "query");
+        bio::Sequence b =
+            g.mutate(a, bio::MutationModel{0.25, 0.04, 0.04}, "subject");
+        kernels::ExtendProblem p{&a, 0, &b, 0,
+                                 &bio::SubstitutionMatrix::blosum62(),
+                                 bio::GapPenalty{10, 1}, 30};
+        do {
+            km.run(p);
+            ++invocations;
+        } while (!exhausted());
+        break;
+    }
+    case kernels::KernelKind::Sankoff: {
+        size_t leaves = 8, sites = 64;
+        bio::SequenceGenerator gen(opts.seed, bio::Alphabet::Dna);
+        auto fam = gen.family(leaves, sites,
+                              bio::MutationModel{0.2, 0.0, 0.0});
+        auto dist = bio::pairwiseDistances(
+            fam, bio::SubstitutionMatrix::dna(), bio::GapPenalty{10, 1});
+        bio::GuideTree tree = bio::upgmaTree(dist);
+        bio::ParsimonyCost cost =
+            bio::ParsimonyCost::transitionTransversion();
+        std::vector<uint8_t> states(leaves);
+        do {
+            for (size_t col = 0; col < sites && !exhausted(); ++col) {
+                for (size_t i = 0; i < leaves; ++i)
+                    states[i] = fam[i][col];
+                kernels::SankoffProblem p{&tree, &states, &cost};
+                km.run(p);
+                ++invocations;
+            }
+        } while (!exhausted());
+        break;
+    }
+    default:
+        panic("bad kernel kind");
+    }
+    return invocations;
+}
+
+/** Aggregate the sampler's per-window site series into one profile. */
+sim::BranchProfile
+aggregateSites(const obs::PmuSampler &sampler)
+{
+    sim::BranchProfile profile;
+    for (const obs::PmuInterval &w : sampler.intervals(true)) {
+        for (const auto &[pc, stats] : w.sites)
+            profile[pc].add(stats);
+    }
+    return profile;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (const char *v = val("--kernel=")) {
+            opts.kernel = v;
+        } else if (const char *v = val("--app=")) {
+            opts.app = v;
+        } else if (const char *v = val("--variant=")) {
+            opts.variant = v;
+        } else if (const char *v = val("--machine=")) {
+            opts.machine = v;
+        } else if (const char *v = val("--klass=")) {
+            opts.klass = v;
+        } else if (const char *v = val("--budget=")) {
+            opts.budget = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--seed=")) {
+            opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--interval=")) {
+            opts.interval = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--max-events=")) {
+            opts.maxEvents = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--perfetto=")) {
+            opts.perfetto = v;
+        } else if (const char *v = val("--konata=")) {
+            opts.konata = v;
+        } else if (const char *v = val("--pmu-csv=")) {
+            opts.pmuCsv = v;
+        } else if (const char *v = val("--manifest=")) {
+            opts.manifest = v;
+        } else if (a == "--sites") {
+            opts.sites = true;
+        } else if (a == "--json") {
+            opts.json = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (opts.kernel.empty() == opts.app.empty()) {
+        std::fputs("bp5-trace: exactly one of --kernel/--app required\n",
+                   stderr);
+        usage();
+        return 2;
+    }
+    if (opts.interval == 0) {
+        std::fputs("bp5-trace: --interval must be nonzero\n", stderr);
+        return 2;
+    }
+
+    mpc::Variant variant = variantFromString(opts.variant);
+    sim::MachineConfig mc = machineFromString(opts.machine);
+    kernels::KernelKind kind = kernels::KernelKind::ForwardPass;
+    std::string workloadName, inputName;
+    if (!opts.kernel.empty()) {
+        kind = kernelFromString(opts.kernel);
+        workloadName = kernels::kernelName(kind);
+        inputName = strprintf("canned seed=%llu",
+                              (unsigned long long)opts.seed);
+    }
+
+    kernels::KernelMachine *kmp = nullptr;
+    std::unique_ptr<kernels::KernelMachine> km;
+    std::unique_ptr<workloads::Workload> workload;
+    if (!opts.app.empty()) {
+        workloads::WorkloadConfig wc;
+        bool found = false;
+        for (int x = 0; x < int(workloads::App::NUM_APPS); ++x) {
+            if (normalized(workloads::appName(workloads::App(x))) ==
+                normalized(opts.app)) {
+                wc.app = workloads::App(x);
+                found = true;
+            }
+        }
+        if (!found)
+            fatal("unknown app '%s'", opts.app.c_str());
+        wc.klass = workloads::inputClassFromString(opts.klass);
+        wc.seed = opts.seed;
+        wc.simInstructionBudget = opts.budget;
+        workload = std::make_unique<workloads::Workload>(wc);
+        kind = workloads::appKernel(wc.app);
+        workloadName = workloads::appName(wc.app);
+        inputName = "class " + opts.klass;
+    }
+
+    km = std::make_unique<kernels::KernelMachine>(kind, variant, mc);
+    kmp = km.get();
+    kmp->setSampleInterval(opts.interval, opts.sites);
+
+    obs::PerfettoSink perfetto(8, opts.maxEvents);
+    obs::KonataSink konata(opts.maxEvents);
+    obs::TraceMux mux;
+    if (!opts.perfetto.empty())
+        mux.add(&perfetto);
+    if (!opts.konata.empty())
+        mux.add(&konata);
+    if (!mux.empty())
+        kmp->setTraceSink(&mux);
+
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t invocations;
+    if (workload) {
+        workloads::SimResult r = workload->simulate(*kmp);
+        invocations = r.invocations;
+    } else {
+        invocations = runKernel(*kmp, opts);
+    }
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    if (!opts.perfetto.empty() && !perfetto.writeTo(opts.perfetto))
+        return 1;
+    if (!opts.konata.empty() && !konata.writeTo(opts.konata))
+        return 1;
+    if (!opts.pmuCsv.empty()) {
+        FILE *f = std::fopen(opts.pmuCsv.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bp5-trace: cannot open %s\n",
+                         opts.pmuCsv.c_str());
+            return 1;
+        }
+        std::fputs(kmp->sampler()->toCsv().c_str(), f);
+        std::fclose(f);
+    }
+
+    // Manifest row: identity + machine + counters + speed.
+    obs::RunInfo info;
+    info.tool = "bp5-trace";
+    info.workload = workloadName;
+    info.variant = mpc::variantName(variant);
+    info.input = inputName;
+    info.invocations = invocations;
+    info.wallSeconds = wall;
+    info.machine = mc;
+    info.counters = kmp->totals();
+    std::vector<support::ResultRow> rows{obs::manifestRow(info)};
+    obs::appendManifest(opts.manifest, rows, "run-manifest");
+
+    if (opts.json) {
+        std::fputs(support::emitJsonLine(rows, "run-manifest").c_str(),
+                   stdout);
+    } else {
+        std::fputs(support::emitText(rows, "run: " + workloadName).c_str(),
+                   stdout);
+        const sim::Counters &c = kmp->totals();
+        std::printf("\n%llu instructions, %llu cycles, IPC %.3f; "
+                    "%llu invocations; %zu PMU windows\n",
+                    (unsigned long long)c.instructions,
+                    (unsigned long long)c.cycles, c.ipc(),
+                    (unsigned long long)invocations,
+                    kmp->sampler()->intervals(true).size());
+        if (!opts.perfetto.empty())
+            std::printf("perfetto: %s (%llu events, %llu dropped)\n",
+                        opts.perfetto.c_str(),
+                        (unsigned long long)perfetto.eventCount(),
+                        (unsigned long long)perfetto.droppedEvents());
+        if (!opts.konata.empty())
+            std::printf("konata: %s (%llu instructions, %llu dropped)\n",
+                        opts.konata.c_str(),
+                        (unsigned long long)konata.instCount(),
+                        (unsigned long long)konata.droppedInsts());
+    }
+
+    if (opts.sites) {
+        // Join the sampler's aggregated site series with the static
+        // branch classes of the traced binary (paper IV-A taxonomy).
+        sim::BranchProfile profile = aggregateSites(*kmp->sampler());
+        analysis::Cfg cfg = analysis::buildCfg(
+            analysis::CodeImage::fromProgram(
+                kmp->compiled().program(kernels::kCodeBase)));
+        auto sites = analysis::classifyBranches(cfg);
+        auto classes = analysis::joinProfile(sites, profile);
+        std::string t1 = "branch classes: " + workloadName;
+        std::string t2 = "hot mispredictors: " + workloadName;
+        auto classRows = analysis::classProfileRows(classes);
+        auto siteRows = analysis::siteProfileRows(sites, profile);
+        if (opts.json) {
+            std::fputs(support::emitJsonLine(classRows, t1).c_str(),
+                       stdout);
+            std::fputs(support::emitJsonLine(siteRows, t2).c_str(),
+                       stdout);
+        } else {
+            std::fputs(support::emitText(classRows, t1).c_str(), stdout);
+            std::fputs(support::emitText(siteRows, t2).c_str(), stdout);
+        }
+    }
+    return 0;
+}

@@ -8,7 +8,10 @@
  * (app x budget) sweep runs on the parallel ExperimentDriver.
  */
 
+#include <cmath>
+
 #include "bench/bench_util.h"
+#include "kernels/kernels.h"
 
 using namespace bp5;
 using namespace bp5::bench;
@@ -64,5 +67,86 @@ main(int argc, char **argv)
                 "a few percent once a handful of invocations are\n"
                 "sampled, validating the sampling methodology used\n"
                 "throughout the suite.\n");
+
+    // --- SMARTS sampled timing: extrapolation error bounds ----------
+    //
+    // The simulator's own sampled-timing mode (sim::SamplingParams:
+    // detailed measurement windows + warmed functional fast-forward)
+    // must reproduce the full-detail IPC and mispredict rate within
+    // tight bounds, or the speedup it buys is not usable for the
+    // paper's metrics.  Violations make the binary exit nonzero so CI
+    // catches a regression in the window extrapolation.
+    opts.note("\n=== SMARTS sampled timing: extrapolation error ===\n\n");
+
+    constexpr double kIpcTolPct = 10.0;  // |IPC error|, percent
+    constexpr double kMispredTol = 1.0;  // mispredicts per 100 insts
+    const struct { uint64_t detail, skip; } settings[] = {
+        {1'000, 19'000}, // 5% detail, short windows
+        {2'000, 38'000}, // 5% detail, the sim_speed_bench setting
+    };
+    int violations = 0;
+    std::vector<driver::ResultRow> vrows;
+    for (int a = 0; a < 4; ++a) {
+        workloads::WorkloadConfig wc = opts.workload(kApps[a]);
+        wc.simInstructionBudget =
+            std::min<uint64_t>(opts.budget, 1'000'000);
+        workloads::Workload w(wc);
+
+        kernels::KernelMachine full(appKernel(kApps[a]),
+                                    mpc::Variant::Baseline,
+                                    sim::MachineConfig());
+        w.simulate(full);
+        double fullIpc = full.totals().ipc();
+        double fullMr = 100.0 * double(full.totals().mispredDirection) /
+                        double(full.totals().instructions);
+
+        for (auto s : settings) {
+            kernels::KernelMachine km(appKernel(kApps[a]),
+                                      mpc::Variant::Baseline,
+                                      sim::MachineConfig());
+            km.setSampling({s.detail, s.skip, true});
+            w.simulate(km);
+            double ipc = km.totals().ipc();
+            double mr = 100.0 * double(km.totals().mispredDirection) /
+                        double(km.totals().instructions);
+            double ipcErrPct = 100.0 * std::fabs(ipc - fullIpc) / fullIpc;
+            double mrErr = std::fabs(mr - fullMr);
+            bool archExact =
+                km.totals().instructions == full.totals().instructions &&
+                km.totals().branches == full.totals().branches &&
+                km.totals().loads == full.totals().loads &&
+                km.totals().stores == full.totals().stores;
+            bool ok = archExact && ipcErrPct < kIpcTolPct &&
+                      mrErr < kMispredTol;
+            if (!ok)
+                ++violations;
+
+            driver::ResultRow row;
+            row.set("app", appName(kApps[a]))
+                .set("window",
+                     std::to_string(s.detail / 1000) + "k/" +
+                         std::to_string(s.skip / 1000) + "k")
+                .set("full IPC", fullIpc)
+                .set("sampled IPC", ipc)
+                .setPct("IPC err", ipcErrPct / 100.0)
+                .set("mispred err/100", mrErr)
+                .set("arch exact", archExact ? "yes" : "NO")
+                .set("ok", ok ? "yes" : "NO");
+            vrows.push_back(row);
+        }
+    }
+    opts.emit(vrows, "sampled-timing error:");
+    if (violations > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %d sampled-timing point(s) exceed the "
+                     "error bounds (IPC < %.0f%%, mispredicts < %.1f "
+                     "per 100 instructions, arch counters exact)\n",
+                     violations, kIpcTolPct, kMispredTol);
+        return 1;
+    }
+    opts.note("\nFinding: sampled timing stays within %.0f%% IPC error\n"
+                "and %.1f mispredicts/100-instructions of full detail,\n"
+                "with architectural counters exact.\n",
+                kIpcTolPct, kMispredTol);
     return 0;
 }

@@ -6,8 +6,10 @@
  *
  * With --json the binary skips google-benchmark and instead emits one
  * JSON Lines record per (workload, mode) measuring simulated MIPS and
- * host wall time across all four applications — the machine-readable
- * perf trajectory CI archives as BENCH_sim_speed.json.
+ * host wall time across all four applications: the machine-readable
+ * perf trajectory.  CI compares it against the checked-in baseline
+ * BENCH_simspeed.json with tools/perf_gate.py and fails the build on
+ * a >20% sim_mips regression at any (workload, mode) point.
  */
 
 #include <benchmark/benchmark.h>
@@ -124,9 +126,44 @@ BM_AssembleRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_AssembleRoundTrip);
 
-/** One --json measurement: simulate @p app and report the speed. */
+/** Execution modes measured by the --json perf trajectory. */
+enum class Mode
+{
+    Timing,     ///< full-detail OoO model
+    Functional, ///< compiled engine, no cycle accounting
+    Sampled,    ///< SMARTS windows + warmed fast-forward
+};
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Timing: return "timing";
+      case Mode::Functional: return "functional";
+      default: return "sampled";
+    }
+}
+
+/// Sampled-mode configuration: 5% detail (2k-instruction windows every
+/// 40k instructions), the setting validated by bench/ablation_sampling.
+constexpr uint64_t kSampledDetail = 2'000;
+constexpr uint64_t kSampledSkip = 38'000;
+
+/// Repeat each measurement until this much wall time accumulates so a
+/// single fast run can't produce a near-zero denominator (the old
+/// single-shot measurement emitted garbage MIPS for short kernels).
+constexpr double kMinWallSeconds = 0.05;
+constexpr unsigned kMaxReps = 50;
+
+/**
+ * One --json measurement: simulate @p app repeatedly and report the
+ * aggregate speed.  The clock is steady_clock and covers the whole
+ * simulate() call — kernel-invocation marshalling and native-reference
+ * validation included — identically across modes and PR generations,
+ * so trajectory ratios compare like with like.
+ */
 support::ResultRow
-measureApp(workloads::App app, bool functional, uint64_t budget)
+measureApp(workloads::App app, Mode mode, uint64_t budget)
 {
     workloads::WorkloadConfig wc;
     wc.app = app;
@@ -134,29 +171,55 @@ measureApp(workloads::App app, bool functional, uint64_t budget)
     workloads::Workload w(wc);
     KernelMachine km(workloads::appKernel(app), mpc::Variant::Baseline,
                      sim::MachineConfig());
-    km.setFunctionalOnly(functional);
 
-    auto t0 = std::chrono::steady_clock::now();
-    workloads::SimResult r = w.simulate(km);
-    double wall = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    double ipc = 0.0;
+    uint64_t invocations = 0;
+    unsigned reps = 0;
+    double wall = 0.0;
+    while (wall < kMinWallSeconds && reps < kMaxReps) {
+        km.reset(); // also clears mode flags; re-apply per rep
+        if (mode == Mode::Functional)
+            km.setFunctionalOnly(true);
+        else if (mode == Mode::Sampled)
+            km.setSampling({kSampledDetail, kSampledSkip, true});
+
+        auto t0 = std::chrono::steady_clock::now();
+        workloads::SimResult r = w.simulate(km);
+        wall += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+        ++reps;
+        instructions += r.counters.instructions;
+        cycles = r.counters.cycles;
+        ipc = r.counters.ipc();
+        invocations = r.invocations;
+    }
 
     support::ResultRow row;
     row.set("workload", workloads::appName(app))
-        .set("mode", functional ? "functional" : "timing")
-        .set("instructions", r.counters.instructions)
-        .set("cycles", r.counters.cycles)
-        .set("ipc", r.counters.ipc())
-        .set("invocations", uint64_t(r.invocations))
+        .set("mode", modeName(mode))
+        .set("instructions", instructions)
+        .set("cycles", cycles)
+        .set("ipc", ipc)
+        .set("invocations", invocations)
+        .set("reps", uint64_t(reps))
         .set("wall_s", wall, 4)
         .set("sim_mips",
-             wall > 0.0 ? double(r.counters.instructions) / wall / 1e6
-                        : 0.0,
+             wall > 1e-9 ? double(instructions) / wall / 1e6 : 0.0,
              2);
     return row;
 }
 
+/**
+ * Emit the perf-trajectory record: one row per (workload, mode).
+ * Schema (parsed by tools/perf_gate.py; keep stable):
+ *   {"title": "sim-speed",
+ *    "rows": [{"workload": ..., "mode": ..., "instructions": ...,
+ *              "cycles": ..., "ipc": ..., "invocations": ...,
+ *              "reps": ..., "wall_s": ..., "sim_mips": ...}, ...]}
+ */
 int
 jsonMain(uint64_t budget)
 {
@@ -164,8 +227,9 @@ jsonMain(uint64_t budget)
     for (workloads::App app :
          {workloads::App::Blast, workloads::App::Clustalw,
           workloads::App::Fasta, workloads::App::Hmmer}) {
-        rows.push_back(measureApp(app, false, budget));
-        rows.push_back(measureApp(app, true, budget));
+        for (Mode mode :
+             {Mode::Timing, Mode::Functional, Mode::Sampled})
+            rows.push_back(measureApp(app, mode, budget));
     }
     std::fputs(support::emitJsonLine(rows, "sim-speed").c_str(), stdout);
     return 0;

@@ -209,6 +209,25 @@ class KernelMachine
     void setFunctionalOnly(bool f) { functionalOnly_ = f; }
 
     /**
+     * SMARTS-style sampled timing for subsequent run() calls (see
+     * sim::SamplingParams): detailed measurement windows separated by
+     * warmed functional fast-forward.  Architectural counts in
+     * totals() stay exact; cycle/event counters are window
+     * extrapolations.  Cleared by reset().
+     */
+    void setSampling(const sim::SamplingParams &p)
+    {
+        machine_.setSampling(p);
+    }
+
+    /**
+     * Toggle the pre-decoded execution engine (see
+     * sim::Machine::setPredecode); reference mode for differential
+     * tests.
+     */
+    void setPredecode(bool on) { machine_.setPredecode(on); }
+
+    /**
      * Collect per-branch-site PMU counters (see sim::BranchProfile).
      * Accumulates across run() calls; cleared by reset().
      */

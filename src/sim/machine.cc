@@ -101,7 +101,7 @@ void
 Machine::loadProgram(const masm::Program &prog)
 {
     mem_.writeBlock(prog.base, prog.image.data(), prog.image.size());
-    exec_.invalidateDecodeCache();
+    exec_.setImage(prog.base, prog.image.size());
 }
 
 void
@@ -118,14 +118,16 @@ Machine::reset()
                                config_.predictorHistoryBits);
     btac_ = Btac(config_.btac);
     exec_.clearConsole();
-    // The decode cache is semantically invisible (decode is a pure
-    // function of memory, and loadProgram() invalidates), but drop it
-    // anyway so a reset machine is indistinguishable from a fresh one
-    // even for programs that store to their own code pages.
+    // The micro-op image is semantically invisible (decode is a pure
+    // function of memory, and loadProgram() re-registers it), but drop
+    // the decoded slots anyway so a reset machine is indistinguishable
+    // from a fresh one even for programs that store to their own code
+    // pages; they rebuild lazily from the still-resident memory.
     exec_.invalidateDecodeCache();
     branchProfiling_ = false;
     branchProfile_.clear();
     sink_ = nullptr;
+    sampling_ = SamplingParams();
     timing_.reset();
 }
 
@@ -518,6 +520,9 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
 RunResult
 Machine::run(uint64_t max_instructions)
 {
+    if (sampling_.enabled())
+        return runSampled(max_instructions);
+
     RunResult res;
     timing_ = std::make_unique<TimingState>(config_);
     TimingState &ts = *timing_;
@@ -534,6 +539,127 @@ Machine::run(uint64_t max_instructions)
             break;
         }
     }
+    if (sink_)
+        sink_->onRunEnd(c);
+    res.console = exec_.console();
+    return res;
+}
+
+namespace {
+
+/** Round-to-nearest extrapolation of one event counter. */
+uint64_t
+scaleCounter(uint64_t v, double r)
+{
+    return static_cast<uint64_t>(static_cast<double>(v) * r + 0.5);
+}
+
+} // namespace
+
+/**
+ * SMARTS-style sampled timing: detailed measurement windows separated
+ * by functional fast-forward phases through the compiled engine.
+ *
+ * - Architectural counters (instructions, opCount, branch and memory
+ *   op counts) are exact: the fast-forward phases execute the same
+ *   committed stream and their counts merge in unscaled.
+ * - Event counters (cycles, mispredicts, taken bubbles, BTAC stats,
+ *   cache misses, stall cycles) are measured inside the windows only
+ *   and extrapolated by total/measured instructions.  l1iAccesses and
+ *   l1dAccesses are reconstructed exactly (one per instruction and one
+ *   per memory op respectively, as in the detailed model).
+ * - With functionalWarming the direction predictor, BTAC and L1D stay
+ *   warm across fast-forward (the detailed model's own update rules);
+ *   the L1I is not warmed — the kernels' code footprint is a few lines
+ *   and refills within a window.
+ * - The cycle axis stays continuous across windows (fast-forward adds
+ *   no cycles) and trace-sink events fire only inside windows, so an
+ *   attached PmuSampler sees a compressed but monotonic timeline.
+ */
+RunResult
+Machine::runSampled(uint64_t max_instructions)
+{
+    RunResult res;
+    res.sampled = true;
+    timing_ = std::make_unique<TimingState>(config_);
+    TimingState &ts = *timing_;
+    Counters &c = res.counters;
+    Counters ff; ///< architectural counts from fast-forward phases
+    if (sink_)
+        sink_->onRunBegin(config_);
+
+    Executor::Warming warm;
+    warm.pred = predictor_.get();
+    warm.btac = config_.btacEnabled ? &btac_ : nullptr;
+    warm.l1d = &l1d_;
+    const Executor::Warming *warmp =
+        sampling_.functionalWarming ? &warm : nullptr;
+
+    uint64_t remaining = max_instructions;
+    while (remaining > 0) {
+        uint64_t window =
+            std::min(sampling_.detailInstructions, remaining);
+        bool halted = false;
+        for (uint64_t n = 0; n < window; ++n) {
+            StepInfo info = exec_.step();
+            scheduleInstruction(info, ts, c);
+            --remaining;
+            if (info.halted) {
+                res.halted = true;
+                res.exitCode = info.exitCode;
+                halted = true;
+                break;
+            }
+        }
+        ++res.sampling.windows;
+        if (halted || remaining == 0)
+            break;
+
+        uint64_t skip = std::min(sampling_.skipInstructions, remaining);
+        Executor::FastResult fr = exec_.runFast(skip, ff, warmp);
+        remaining -= fr.executed;
+        if (fr.halted) {
+            res.halted = true;
+            res.exitCode = fr.exitCode;
+            break;
+        }
+    }
+
+    res.sampling.detailedInstructions = c.instructions;
+    res.sampling.detailedCycles = c.cycles;
+    res.sampling.fastForwardedInstructions = ff.instructions;
+
+    // Exact architectural merge.
+    c.instructions += ff.instructions;
+    c.branches += ff.branches;
+    c.condBranches += ff.condBranches;
+    c.takenBranches += ff.takenBranches;
+    c.loads += ff.loads;
+    c.stores += ff.stores;
+    for (size_t i = 0; i < c.opCount.size(); ++i)
+        c.opCount[i] += ff.opCount[i];
+
+    // Event extrapolation from the measured windows.
+    if (res.sampling.detailedInstructions > 0 &&
+        ff.instructions > 0) {
+        double r = static_cast<double>(c.instructions) /
+                   static_cast<double>(res.sampling.detailedInstructions);
+        c.cycles = scaleCounter(c.cycles, r);
+        c.mispredDirection = scaleCounter(c.mispredDirection, r);
+        c.mispredTarget = scaleCounter(c.mispredTarget, r);
+        c.takenBubbles = scaleCounter(c.takenBubbles, r);
+        c.btacPredictions = scaleCounter(c.btacPredictions, r);
+        c.btacCorrect = scaleCounter(c.btacCorrect, r);
+        c.btacMispredicts = scaleCounter(c.btacMispredicts, r);
+        c.l1dMisses = scaleCounter(c.l1dMisses, r);
+        c.l1iMisses = scaleCounter(c.l1iMisses, r);
+        c.l2Misses = scaleCounter(c.l2Misses, r);
+        for (size_t i = 0; i < c.stallCycles.size(); ++i)
+            c.stallCycles[i] = scaleCounter(c.stallCycles[i], r);
+    }
+    c.l1iAccesses = c.instructions;
+    c.l1dAccesses = c.loads + c.stores;
+
     if (sink_)
         sink_->onRunEnd(c);
     res.console = exec_.console();
@@ -631,10 +757,16 @@ Machine::run(uint64_t max_instructions, uint64_t interval_cycles)
 {
     if (interval_cycles == 0)
         return run(max_instructions);
+    // The shim predates sampled timing: its callers expect the
+    // historical full-detail timeline bit-for-bit, so sampling is
+    // suspended for the duration of the shim run.
+    SamplingParams saved = sampling_;
+    sampling_ = SamplingParams();
     LegacyTimelineSink legacy(interval_cycles, sink_);
     sink_ = &legacy;
     RunResult res = run(max_instructions);
     sink_ = legacy.chain();
+    sampling_ = saved;
     res.timeline = std::move(legacy.samples);
     return res;
 }
@@ -643,28 +775,10 @@ RunResult
 Machine::runFunctional(uint64_t max_instructions)
 {
     RunResult res;
-    Counters &c = res.counters;
-    for (uint64_t n = 0; n < max_instructions; ++n) {
-        StepInfo info = exec_.step();
-        ++c.instructions;
-        ++c.opCount[size_t(info.inst.op)];
-        if (info.isBranch) {
-            ++c.branches;
-            if (info.isCondBranch)
-                ++c.condBranches;
-            if (info.taken)
-                ++c.takenBranches;
-        }
-        if (info.isLoad)
-            ++c.loads;
-        if (info.isStore)
-            ++c.stores;
-        if (info.halted) {
-            res.halted = true;
-            res.exitCode = info.exitCode;
-            break;
-        }
-    }
+    Executor::FastResult fr =
+        exec_.runFast(max_instructions, res.counters);
+    res.halted = fr.halted;
+    res.exitCode = fr.exitCode;
     res.console = exec_.console();
     return res;
 }

@@ -35,6 +35,26 @@
 
 namespace bp5::sim {
 
+/**
+ * SMARTS-style sampled-timing configuration: alternate a detailed
+ * measurement window of @ref detailInstructions with a functional
+ * fast-forward of @ref skipInstructions (predictor/BTAC/L1D warmed
+ * when @ref functionalWarming).  Architectural counters stay exact;
+ * cycle/event counters are extrapolated from the windows.  Both
+ * fields nonzero enables sampling; reset() disables it.
+ */
+struct SamplingParams
+{
+    uint64_t detailInstructions = 0; ///< instructions per window
+    uint64_t skipInstructions = 0;   ///< fast-forward between windows
+    bool functionalWarming = true;
+
+    bool enabled() const
+    {
+        return detailInstructions > 0 && skipInstructions > 0;
+    }
+};
+
 /** Result of a Machine::run invocation. */
 struct RunResult
 {
@@ -45,6 +65,17 @@ struct RunResult
     bool halted = false;
     int64_t exitCode = 0;
     std::string console;
+
+    /** Measurement bookkeeping of a sampled run (see SamplingParams). */
+    struct SamplingStats
+    {
+        uint64_t windows = 0;
+        uint64_t detailedInstructions = 0;
+        uint64_t detailedCycles = 0;
+        uint64_t fastForwardedInstructions = 0;
+    };
+    SamplingStats sampling;
+    bool sampled = false; ///< counters contain extrapolated events
 };
 
 /** A single-core MiniPOWER machine with the POWER5-class timing model. */
@@ -89,10 +120,28 @@ class Machine
 
     /**
      * Run functionally only (no cycle accounting; counters contain
-     * instruction counts but zero cycles).  About an order of magnitude
-     * faster; used for fast-forward and correctness tests.
+     * instruction counts but zero cycles).  Executes through the
+     * pre-decoded micro-op engine, an order of magnitude faster than
+     * detailed timing; used for fast-forward and correctness tests.
      */
     RunResult runFunctional(uint64_t max_instructions = UINT64_MAX);
+
+    /**
+     * Configure SMARTS-style sampled timing for subsequent run()
+     * calls (see SamplingParams; disabled by default and after
+     * reset()).  The deprecated run(max, interval) shim always runs
+     * full detail regardless, preserving its historical timeline.
+     */
+    void setSampling(const SamplingParams &p) { sampling_ = p; }
+    const SamplingParams &sampling() const { return sampling_; }
+
+    /**
+     * Toggle the pre-decoded execution engine (on by default).  Off,
+     * every instruction decodes fresh from memory: the reference mode
+     * the differential engine tests compare against.
+     */
+    void setPredecode(bool on) { exec_.setPredecode(on); }
+    bool predecode() const { return exec_.predecode(); }
 
     const Cache &l1d() const { return l1d_; }
     const Cache &l1i() const { return l1i_; }
@@ -122,6 +171,7 @@ class Machine
 
     void scheduleInstruction(const StepInfo &info, TimingState &ts,
                              Counters &c);
+    RunResult runSampled(uint64_t max_instructions);
 
     MachineConfig config_;
     Memory mem_;
@@ -137,6 +187,7 @@ class Machine
     bool branchProfiling_ = false;
     BranchProfile branchProfile_;
     TraceSink *sink_ = nullptr;
+    SamplingParams sampling_;
 
     std::unique_ptr<TimingState> timing_;
 };

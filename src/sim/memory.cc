@@ -1,5 +1,6 @@
 #include "sim/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace bp5::sim {
@@ -20,16 +21,6 @@ Memory::pageIfPresent(uint64_t addr) const
     auto it = pages_.find(addr >> kPageShift);
     return it == pages_.end() ? nullptr : &it->second;
 }
-
-namespace {
-
-constexpr uint64_t
-pageOff(uint64_t addr)
-{
-    return addr & (Memory::kPageSize - 1);
-}
-
-} // namespace
 
 void
 Memory::writeBlock(uint64_t addr, const void *src, size_t len)
@@ -60,62 +51,6 @@ Memory::readBlock(uint64_t addr, void *dst, size_t len) const
         p += chunk;
         len -= chunk;
     }
-}
-
-uint8_t
-Memory::readU8(uint64_t addr) const
-{
-    if (const Page *pg = pageIfPresent(addr))
-        return (*pg)[pageOff(addr)];
-    return 0;
-}
-
-uint16_t
-Memory::readU16(uint64_t addr) const
-{
-    uint16_t v;
-    readBlock(addr, &v, 2);
-    return v;
-}
-
-uint32_t
-Memory::readU32(uint64_t addr) const
-{
-    uint32_t v;
-    readBlock(addr, &v, 4);
-    return v;
-}
-
-uint64_t
-Memory::readU64(uint64_t addr) const
-{
-    uint64_t v;
-    readBlock(addr, &v, 8);
-    return v;
-}
-
-void
-Memory::writeU8(uint64_t addr, uint8_t v)
-{
-    page(addr)[pageOff(addr)] = v;
-}
-
-void
-Memory::writeU16(uint64_t addr, uint16_t v)
-{
-    writeBlock(addr, &v, 2);
-}
-
-void
-Memory::writeU32(uint64_t addr, uint32_t v)
-{
-    writeBlock(addr, &v, 4);
-}
-
-void
-Memory::writeU64(uint64_t addr, uint64_t v)
-{
-    writeBlock(addr, &v, 8);
 }
 
 } // namespace bp5::sim

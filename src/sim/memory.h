@@ -2,12 +2,21 @@
  * @file
  * Sparse flat physical memory for the MiniPOWER machine.  Backed by
  * 4 KiB pages allocated on first touch; all accesses are little-endian.
+ *
+ * Small aligned-width accesses are inlined with a one-entry cached
+ * page pointer per direction (the compiled execution engine issues
+ * one such access per memory micro-op), falling back to the block
+ * routines when the access crosses a page boundary.  Page buffers are
+ * heap-allocated vectors, so cached pointers stay valid across page
+ * table rehashes; reads of absent pages return zero without
+ * allocating (and are never cached, so a later write is observed).
  */
 
 #ifndef BIOPERF5_SIM_MEMORY_H
 #define BIOPERF5_SIM_MEMORY_H
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -21,15 +30,21 @@ class Memory
     static constexpr unsigned kPageShift = 12;
     static constexpr uint64_t kPageSize = 1ULL << kPageShift;
 
-    uint8_t readU8(uint64_t addr) const;
-    uint16_t readU16(uint64_t addr) const;
-    uint32_t readU32(uint64_t addr) const;
-    uint64_t readU64(uint64_t addr) const;
+    uint8_t
+    readU8(uint64_t addr) const
+    {
+        if (const uint8_t *p = readPtr(addr, 1))
+            return *p;
+        return 0;
+    }
+    uint16_t readU16(uint64_t addr) const { return readSmall<uint16_t>(addr); }
+    uint32_t readU32(uint64_t addr) const { return readSmall<uint32_t>(addr); }
+    uint64_t readU64(uint64_t addr) const { return readSmall<uint64_t>(addr); }
 
-    void writeU8(uint64_t addr, uint8_t v);
-    void writeU16(uint64_t addr, uint16_t v);
-    void writeU32(uint64_t addr, uint32_t v);
-    void writeU64(uint64_t addr, uint64_t v);
+    void writeU8(uint64_t addr, uint8_t v) { *writePtr(addr, 1) = v; }
+    void writeU16(uint64_t addr, uint16_t v) { writeSmall(addr, v); }
+    void writeU32(uint64_t addr, uint32_t v) { writeSmall(addr, v); }
+    void writeU64(uint64_t addr, uint64_t v) { writeSmall(addr, v); }
 
     /** Bulk copy into memory. */
     void writeBlock(uint64_t addr, const void *src, size_t len);
@@ -41,7 +56,14 @@ class Memory
     size_t residentPages() const { return pages_.size(); }
 
     /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        readPageNum_ = writePageNum_ = ~0ULL;
+        readPage_ = nullptr;
+        writePage_ = nullptr;
+    }
 
   private:
     using Page = std::vector<uint8_t>;
@@ -49,7 +71,75 @@ class Memory
     Page &page(uint64_t addr);
     const Page *pageIfPresent(uint64_t addr) const;
 
+    static constexpr uint64_t pageOff(uint64_t a)
+    {
+        return a & (kPageSize - 1);
+    }
+
+    /** Pointer into the page holding [addr, addr+len), or nullptr if
+     *  the page is absent or the span crosses a page boundary. */
+    const uint8_t *
+    readPtr(uint64_t addr, size_t len) const
+    {
+        uint64_t off = pageOff(addr);
+        if (off + len > kPageSize)
+            return nullptr;
+        uint64_t pn = addr >> kPageShift;
+        if (pn != readPageNum_) {
+            const Page *pg = pageIfPresent(addr);
+            if (!pg)
+                return nullptr; // absence is never cached
+            readPageNum_ = pn;
+            readPage_ = pg->data();
+        }
+        return readPage_ + off;
+    }
+
+    /** Writable pointer for [addr, addr+len), allocating the page;
+     *  nullptr only when the span crosses a page boundary. */
+    uint8_t *
+    writePtr(uint64_t addr, size_t len)
+    {
+        uint64_t off = pageOff(addr);
+        if (off + len > kPageSize)
+            return nullptr;
+        uint64_t pn = addr >> kPageShift;
+        if (pn != writePageNum_) {
+            writePageNum_ = pn;
+            writePage_ = page(addr).data();
+        }
+        return writePage_ + off;
+    }
+
+    template <typename T>
+    T
+    readSmall(uint64_t addr) const
+    {
+        T v;
+        if (const uint8_t *p = readPtr(addr, sizeof(T))) {
+            std::memcpy(&v, p, sizeof(T));
+            return v;
+        }
+        readBlock(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeSmall(uint64_t addr, T v)
+    {
+        if (uint8_t *p = writePtr(addr, sizeof(T))) {
+            std::memcpy(p, &v, sizeof(T));
+            return;
+        }
+        writeBlock(addr, &v, sizeof(T));
+    }
+
     mutable std::unordered_map<uint64_t, Page> pages_;
+    mutable uint64_t readPageNum_ = ~0ULL;
+    mutable const uint8_t *readPage_ = nullptr;
+    uint64_t writePageNum_ = ~0ULL;
+    uint8_t *writePage_ = nullptr;
 };
 
 } // namespace bp5::sim

@@ -61,11 +61,15 @@ scaleFor(InputClass k)
     switch (k) {
       case InputClass::A:
         return {6, 50, 80, 6, 40, 8, 80, 8};
+      // Clustalw needs enough sequences that the O(N^2) pairwise
+      // stage dominates the N-1 profile merges as in the paper's
+      // Fig 1 (68.9% forward_pass); below ~20 sequences the two
+      // stages tie and the profile ordering becomes input noise.
       case InputClass::B:
-        return {16, 100, 150, 16, 80, 16, 160, 20};
+        return {28, 100, 150, 16, 80, 16, 160, 20};
       case InputClass::C:
       default:
-        return {24, 160, 300, 32, 140, 32, 300, 40};
+        return {40, 160, 300, 32, 140, 32, 300, 40};
     }
 }
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Simulator-speed regression gate.
+
+Compares a fresh ``bench/sim_speed_bench --json`` record against the
+checked-in perf-trajectory baseline (BENCH_simspeed.json) and fails if
+any (workload, mode) point lost more than --max-drop of its simulated
+MIPS.  Run from CI after the test step:
+
+    ./build/bench/sim_speed_bench --json > new.json
+    python3 tools/perf_gate.py --baseline BENCH_simspeed.json --new new.json
+
+Only relative regressions are gated; faster-than-baseline points are
+reported but never fail.  The baseline file also carries the pre-PR
+interpreter reference (``reference_pre_predecode``); when present, the
+gate additionally checks the compiled-engine speedup contract: each
+workload's functional-mode MIPS must stay >= --min-speedup times the
+reference timing-interpreter MIPS on at least --min-speedup-apps
+workloads (host-relative, so this only trips when the engine itself
+slows down, not when the CI host does).
+
+Exit status: 0 = all points within bounds, 1 = regression, 2 = usage
+or schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Return {(workload, mode): row} from a sim-speed JSON document."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError(f"{path}: no 'rows' array")
+    out = {}
+    for row in rows:
+        key = (row["workload"], row["mode"])
+        if key in out:
+            raise ValueError(f"{path}: duplicate row {key}")
+        out[key] = row
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in BENCH_simspeed.json")
+    ap.add_argument("--new", required=True, dest="new_path",
+                    help="fresh sim_speed_bench --json output")
+    ap.add_argument("--max-drop", type=float, default=0.20,
+                    help="maximum tolerated fractional sim_mips drop "
+                         "per (workload, mode) point (default 0.20)")
+    ap.add_argument("--min-speedup", type=float, default=10.0,
+                    help="required functional-vs-reference-timing "
+                         "speedup (default 10)")
+    ap.add_argument("--min-speedup-apps", type=int, default=3,
+                    help="workloads that must meet --min-speedup "
+                         "(default 3)")
+    args = ap.parse_args()
+
+    try:
+        base = load_rows(args.baseline)
+        new = load_rows(args.new_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"perf_gate: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'workload':<10} {'mode':<11} {'base':>8} {'new':>8} "
+          f"{'ratio':>6}")
+    for key, brow in sorted(base.items()):
+        nrow = new.get(key)
+        if nrow is None:
+            failures.append(f"missing point {key} in {args.new_path}")
+            continue
+        b, n = float(brow["sim_mips"]), float(nrow["sim_mips"])
+        if b <= 0:
+            failures.append(f"{key}: non-positive baseline MIPS {b}")
+            continue
+        ratio = n / b
+        flag = ""
+        if ratio < 1.0 - args.max_drop:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{key[0]}/{key[1]}: {n:.2f} MIPS vs baseline "
+                f"{b:.2f} ({100 * (1 - ratio):.1f}% drop > "
+                f"{100 * args.max_drop:.0f}% allowed)")
+        print(f"{key[0]:<10} {key[1]:<11} {b:>8.2f} {n:>8.2f} "
+              f"{ratio:>6.2f}{flag}")
+
+    # Compiled-engine speedup contract vs the pre-predecode reference,
+    # measured within the new record's own host via the baseline's
+    # functional/timing structure: compare new functional MIPS against
+    # the stored interpreter reference scaled by the host-speed ratio
+    # of the timing rows (timing-mode cost changed little with the
+    # engine, so it doubles as the host-speed proxy).
+    with open(args.baseline) as f:
+        ref = json.load(f).get("reference_pre_predecode")
+    if ref:
+        ref_rows = {(r["workload"], r["mode"]): r for r in ref["rows"]}
+        ok_apps = 0
+        apps = sorted({w for (w, _) in ref_rows})
+        # One geometric-mean host-speed factor across all workloads:
+        # per-app timing ratios would double-count run-to-run noise.
+        ratios = [float(new[(w, "timing")]["sim_mips"]) /
+                  float(base[(w, "timing")]["sim_mips"])
+                  for w in apps
+                  if (w, "timing") in new and
+                  float(base[(w, "timing")]["sim_mips"]) > 0]
+        host_scale = 1.0
+        if ratios:
+            prod = 1.0
+            for r in ratios:
+                prod *= r
+            host_scale = prod ** (1.0 / len(ratios))
+        for w in apps:
+            ref_timing = float(ref_rows[(w, "timing")]["sim_mips"])
+            n = new.get((w, "functional"))
+            if n is None or ref_timing <= 0:
+                continue
+            need = args.min_speedup * ref_timing * host_scale
+            got = float(n["sim_mips"])
+            if got >= need:
+                ok_apps += 1
+            print(f"speedup {w}: functional {got:.1f} vs scaled "
+                  f"interpreter floor {need:.1f} "
+                  f"({'ok' if got >= need else 'below'})")
+        if ok_apps < args.min_speedup_apps:
+            failures.append(
+                f"compiled-engine speedup contract: only {ok_apps} "
+                f"workload(s) reach {args.min_speedup:.0f}x over the "
+                f"pre-predecode interpreter "
+                f"(need {args.min_speedup_apps})")
+
+    if failures:
+        print("\nperf_gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf_gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/loops.h"
 #include "isa/encode.h"
 #include "support/logging.h"
 
@@ -23,6 +24,10 @@ lintCodeName(LintCode code)
     case LintCode::UninitializedStoreBase: return "uninitialized-store-base";
     case LintCode::UnreachableCode: return "unreachable-code";
     case LintCode::DeadDefinition: return "dead-definition";
+    case LintCode::OutOfBoundsAccess: return "out-of-bounds-access";
+    case LintCode::MisalignedAccess: return "misaligned-access";
+    case LintCode::UnprovenAccess: return "unproven-access";
+    case LintCode::InfiniteLoop: return "infinite-loop";
     }
     return "?";
 }
@@ -240,6 +245,76 @@ lintDeadDefs(const Cfg &cfg, const isa::SymbolResolver &sym,
     }
 }
 
+void
+lintMemoryAccesses(const Cfg &cfg, const LintOptions &opts,
+                   const isa::SymbolResolver &sym, LintReport &report)
+{
+    ValueAnalysis va = analyzeValues(cfg, opts.entryDefined, opts.regions);
+    for (const MemAccess &a : va.accesses) {
+        if (a.ea.prov == Prov::Bottom)
+            continue; // already an undefined-register-read error
+        const char *what = a.isStore ? "store" : "load";
+        if (a.cls == MemClass::OutOfBounds) {
+            Diagnostic d;
+            d.code = LintCode::OutOfBoundsAccess;
+            d.severity = Severity::Error;
+            d.pc = a.pc;
+            d.disasm = disasmAt(cfg, a.pc, sym);
+            d.message = strprintf(
+                "%s of %u bytes at constant address %s hits unmapped "
+                "memory (null page)",
+                what, a.size, a.ea.range.str().c_str());
+            report.diags.push_back(std::move(d));
+        }
+        if (a.misaligned) {
+            Diagnostic d;
+            d.code = LintCode::MisalignedAccess;
+            d.severity = Severity::Error;
+            d.pc = a.pc;
+            d.disasm = disasmAt(cfg, a.pc, sym);
+            d.message = strprintf(
+                "%u-byte %s at proven address 0x%llx breaks natural "
+                "alignment",
+                a.size, what,
+                (unsigned long long)static_cast<uint64_t>(a.ea.range.lo));
+            report.diags.push_back(std::move(d));
+        }
+        if (opts.pedantic && a.cls == MemClass::Unknown && !a.misaligned) {
+            Diagnostic d;
+            d.code = LintCode::UnprovenAccess;
+            d.severity = Severity::Warning;
+            d.pc = a.pc;
+            d.disasm = disasmAt(cfg, a.pc, sym);
+            d.message = strprintf(
+                "cannot prove the %s address (%s) maps to valid memory",
+                what, a.ea.str().c_str());
+            report.diags.push_back(std::move(d));
+        }
+    }
+}
+
+void
+lintInfiniteLoops(const Cfg &cfg, const isa::SymbolResolver &sym,
+                  LintReport &report)
+{
+    BinLoopForest forest = findCfgLoops(cfg);
+    for (const BinLoop &l : forest.loops) {
+        if (!l.infinite())
+            continue;
+        const BasicBlock &h = cfg.blocks[static_cast<size_t>(l.header)];
+        Diagnostic d;
+        d.code = LintCode::InfiniteLoop;
+        d.severity = Severity::Warning;
+        d.pc = h.start;
+        d.disasm = disasmAt(cfg, h.start, sym);
+        d.aux = l.blocks.size();
+        d.message = strprintf(
+            "loop over %zu block%s has no exit edge: statically infinite",
+            l.blocks.size(), l.blocks.size() == 1 ? "" : "s");
+        report.diags.push_back(std::move(d));
+    }
+}
+
 } // namespace
 
 LintReport
@@ -251,8 +326,11 @@ lint(const Cfg &cfg, const LintOptions &opts)
     lintCfgIssues(cfg, sym, report);
     lintUndefinedReads(cfg, opts, sym, report);
     lintUnreachable(cfg, report);
-    if (opts.pedantic)
+    lintMemoryAccesses(cfg, opts, sym, report);
+    if (opts.pedantic) {
         lintDeadDefs(cfg, sym, report);
+        lintInfiniteLoops(cfg, sym, report);
+    }
 
     // Deterministic order: by address, errors before warnings.
     std::stable_sort(report.diags.begin(), report.diags.end(),

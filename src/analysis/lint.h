@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
 #include "support/result.h"
@@ -33,6 +34,10 @@ enum class LintCode
     UninitializedStoreBase, ///< store addresses through such a register
     UnreachableCode,        ///< decodable but unreachable instructions
     DeadDefinition,         ///< GPR written but never read (pedantic)
+    OutOfBoundsAccess,      ///< proven access to unmapped memory
+    MisalignedAccess,       ///< proven natural-alignment violation
+    UnprovenAccess,         ///< address nothing vouches for (pedantic)
+    InfiniteLoop,           ///< loop with no exit edge (pedantic)
 };
 
 const char *lintCodeName(LintCode code);
@@ -55,8 +60,13 @@ struct LintOptions
     /** Registers assumed defined at entry (kernel ABI by default). */
     RegSet entryDefined = abiEntryDefined();
 
-    /** Also report dead GPR definitions (noisy on optimized code). */
+    /** Also report dead GPR definitions, unprovable memory accesses
+     *  and statically-infinite loops (noisy on optimized code). */
     bool pedantic = false;
+
+    /** Data regions the program may legitimately access; an address
+     *  proven inside one is in-bounds, silencing UnprovenAccess. */
+    std::vector<MemRegion> regions;
 };
 
 /** Result of linting one program. */

@@ -1,0 +1,460 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/dataflow.h"
+#include "support/logging.h"
+
+namespace bp5::analysis {
+
+using isa::Inst;
+using isa::Op;
+
+bool
+BinLoop::contains(int blk) const
+{
+    return std::binary_search(blocks.begin(), blocks.end(), blk);
+}
+
+namespace {
+
+std::vector<int>
+reversePostorder(const Cfg &cfg)
+{
+    std::vector<int> order;
+    if (cfg.entryBlock < 0)
+        return order;
+    std::vector<uint8_t> state(cfg.blocks.size(), 0); // 0 new 1 open 2 done
+    std::vector<std::pair<int, size_t>> stack{{cfg.entryBlock, 0}};
+    state[static_cast<size_t>(cfg.entryBlock)] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        const auto &succs = cfg.blocks[static_cast<size_t>(b)].succs;
+        if (next < succs.size()) {
+            int s = succs[next++];
+            if (!state[static_cast<size_t>(s)]) {
+                state[static_cast<size_t>(s)] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            state[static_cast<size_t>(b)] = 2;
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+bool
+dominates(const std::vector<int> &idom, int a, int b)
+{
+    while (b != -1) {
+        if (b == a)
+            return true;
+        if (idom[static_cast<size_t>(b)] == b)
+            return a == b;
+        b = idom[static_cast<size_t>(b)];
+    }
+    return false;
+}
+
+/** Walk backwards from instruction @p from in @p blk for a `li rk,
+ *  imm` defining @p reg with no intervening redefinition.
+ *  @return true and sets @p value on success. */
+bool
+constDefBefore(const BasicBlock &blk, size_t from, unsigned reg,
+               int64_t &value)
+{
+    for (size_t i = from; i-- > 0;) {
+        const Inst &inst = blk.insts[i].inst;
+        unsigned dsts[isa::kMaxDeps];
+        unsigned n = isa::dstDeps(inst, dsts);
+        bool defines = false;
+        for (unsigned k = 0; k < n; ++k)
+            defines = defines || dsts[k] == reg;
+        if (!defines)
+            continue;
+        if (inst.op == Op::ADDI && inst.ra == 0 && inst.rt == reg) {
+            value = inst.imm;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+uint64_t
+takenTarget(const Inst &bc, uint64_t pc)
+{
+    return bc.aa ? static_cast<uint64_t>(bc.imm)
+                 : pc + static_cast<int64_t>(bc.imm);
+}
+
+int64_t
+floorDiv(int64_t num, int64_t den)
+{
+    int64_t q = num / den;
+    if ((num % den != 0) && ((num < 0) != (den < 0)))
+        --q;
+    return q;
+}
+
+/** The latch's continue predicate, normalized to `iv REL bound` where
+ *  REL in {LT, LE, GT, GE}. */
+enum class Rel { LT, LE, GT, GE, None };
+
+Rel
+negated(Rel r)
+{
+    switch (r) {
+    case Rel::LT: return Rel::GE;
+    case Rel::LE: return Rel::GT;
+    case Rel::GT: return Rel::LE;
+    case Rel::GE: return Rel::LT;
+    case Rel::None: return Rel::None;
+    }
+    return Rel::None;
+}
+
+/**
+ * Recover (ivReg, step, bound, init, tripCount) for a GPR-IV counted
+ * loop whose latch ends in `cmpi; bc`.
+ */
+void
+analyzeGprCounted(const Cfg &cfg, const ReachingDefs &rd, BinLoop &loop)
+{
+    const BasicBlock &latch = cfg.blocks[static_cast<size_t>(loop.latches[0])];
+    const Inst &bc = latch.last().inst;
+    if (bc.op != Op::BC ||
+        (bc.bo != isa::BO_COND_TRUE && bc.bo != isa::BO_COND_FALSE))
+        return;
+
+    // Which way does control continue?
+    uint64_t taken = takenTarget(bc, latch.last().pc);
+    const BasicBlock *header = &cfg.blocks[static_cast<size_t>(loop.header)];
+    bool takenContinues = taken == header->start;
+
+    unsigned crf = bc.bi / 4;
+    unsigned bit = bc.bi % 4;
+    Rel rel;
+    if (bit == isa::CR_LT)
+        rel = Rel::LT;
+    else if (bit == isa::CR_GT)
+        rel = Rel::GT;
+    else
+        return; // EQ-controlled loops are not counted shapes
+    if (bc.bo == isa::BO_COND_FALSE)
+        rel = negated(rel);
+    if (!takenContinues)
+        rel = negated(rel);
+
+    // The compare writing that CR field must be the last such write in
+    // the latch, and must be a cmpi against an immediate.
+    int cmpIdx = -1;
+    for (size_t i = latch.insts.size() - 1; i-- > 0;) {
+        const Inst &inst = latch.insts[i].inst;
+        unsigned dsts[isa::kMaxDeps];
+        unsigned n = isa::dstDeps(inst, dsts);
+        bool writesCrf = false;
+        for (unsigned k = 0; k < n; ++k)
+            writesCrf = writesCrf || dsts[k] == isa::depCrField(crf);
+        if (writesCrf) {
+            cmpIdx = static_cast<int>(i);
+            break;
+        }
+    }
+    if (cmpIdx < 0 || latch.insts[static_cast<size_t>(cmpIdx)].inst.op !=
+                          Op::CMPI)
+        return;
+    const Inst &cmp = latch.insts[static_cast<size_t>(cmpIdx)].inst;
+    if (!cmp.l64)
+        return;
+    unsigned iv = cmp.ra;
+    int64_t bound = cmp.imm;
+
+    // Exactly one definition of the IV inside the loop: addi iv,iv,step.
+    const CfgInst *step_inst = nullptr;
+    for (int b : loop.blocks) {
+        for (const CfgInst &ci : cfg.blocks[static_cast<size_t>(b)].insts) {
+            unsigned dsts[isa::kMaxDeps];
+            unsigned n = isa::dstDeps(ci.inst, dsts);
+            for (unsigned k = 0; k < n; ++k) {
+                if (dsts[k] != iv)
+                    continue;
+                if (step_inst)
+                    return; // several defs: not a simple IV
+                step_inst = &ci;
+            }
+        }
+    }
+    if (!step_inst || step_inst->inst.op != Op::ADDI ||
+        step_inst->inst.ra != iv || step_inst->inst.imm == 0)
+        return;
+    int64_t step = step_inst->inst.imm;
+
+    // Direction must agree with the continue predicate or the bound
+    // check never terminates the loop (that is findCfgLoops' infinite
+    // check's job, not a counted shape).
+    if (step > 0 && rel != Rel::LT && rel != Rel::LE)
+        return;
+    if (step < 0 && rel != Rel::GT && rel != Rel::GE)
+        return;
+
+    loop.counted = true;
+    loop.ivReg = iv;
+    loop.step = step;
+    loop.bound = bound;
+
+    // Exact trip count needs the bottom-tested shape: the increment
+    // lives in the latch before the compare, and the latch is the only
+    // exit (so the body runs at least once and exactly once per test).
+    bool stepInLatch = false;
+    for (size_t i = 0; i < static_cast<size_t>(cmpIdx); ++i)
+        stepInLatch = stepInLatch || &latch.insts[i] == step_inst;
+    bool latchOnlyExit = true;
+    for (auto [from, to] : loop.exits)
+        latchOnlyExit = latchOnlyExit && from == loop.latches[0];
+    if (!stepInLatch || !latchOnlyExit || loop.exits.empty())
+        return;
+
+    // Initial value: every def of iv reaching the header from outside
+    // the loop must be the same li.
+    bool haveInit = false;
+    int64_t init = 0;
+    for (const DefSite &site : rd.reaching(loop.header, 0, iv)) {
+        if (site.block == -1)
+            return; // may enter as an ABI argument: unknown
+        if (loop.contains(site.block))
+            continue; // the increment itself
+        const BasicBlock &db = cfg.blocks[static_cast<size_t>(site.block)];
+        const Inst &def = db.insts[site.idx].inst;
+        if (def.op != Op::ADDI || def.ra != 0)
+            return;
+        if (haveInit && init != def.imm)
+            return;
+        haveInit = true;
+        init = def.imm;
+    }
+    if (!haveInit)
+        return;
+    loop.init = init;
+
+    int64_t num, span;
+    if (step > 0) {
+        span = bound - init;
+        num = rel == Rel::LE ? span : span - 1;
+    } else {
+        span = init - bound;
+        num = rel == Rel::GE ? span : span - 1;
+        step = -step;
+    }
+    loop.tripCount = num < 0 ? 1 : floorDiv(num, step) + 1;
+}
+
+/** Recover the trip count of a `mtctr; ...; bdnz` loop. */
+void
+analyzeCtrCounted(const Cfg &cfg, const ReachingDefs &rd, BinLoop &loop)
+{
+    const BasicBlock &latch = cfg.blocks[static_cast<size_t>(loop.latches[0])];
+    const Inst &bc = latch.last().inst;
+    uint64_t taken = takenTarget(bc, latch.last().pc);
+    if (bc.op != Op::BC || bc.bo != isa::BO_DNZ ||
+        taken != cfg.blocks[static_cast<size_t>(loop.header)].start)
+        return;
+
+    // Only the latch may touch CTR inside the loop.
+    for (int b : loop.blocks) {
+        const BasicBlock &blk = cfg.blocks[static_cast<size_t>(b)];
+        for (const CfgInst &ci : blk.insts) {
+            if (&ci == &latch.last())
+                continue;
+            unsigned dsts[isa::kMaxDeps];
+            unsigned n = isa::dstDeps(ci.inst, dsts);
+            for (unsigned k = 0; k < n; ++k) {
+                if (dsts[k] == isa::DEP_CTR)
+                    return;
+            }
+        }
+    }
+
+    loop.counted = true;
+    loop.viaCtr = true;
+
+    // Every CTR def reaching the header from outside must be the same
+    // `li rk, n; mtctr rk` with n > 0.
+    bool haveInit = false;
+    int64_t init = 0;
+    for (const DefSite &site : rd.reaching(loop.header, 0, isa::DEP_CTR)) {
+        if (site.block == -1)
+            return;
+        if (loop.contains(site.block))
+            continue; // the bdnz decrement
+        const BasicBlock &db = cfg.blocks[static_cast<size_t>(site.block)];
+        const Inst &def = db.insts[site.idx].inst;
+        if (def.op != Op::MTSPR || def.spr != isa::SPR_CTR)
+            return;
+        int64_t v;
+        if (!constDefBefore(db, site.idx, def.rt, v))
+            return;
+        if (haveInit && init != v)
+            return;
+        haveInit = true;
+        init = v;
+    }
+    if (!haveInit || init <= 0)
+        return; // mtctr 0 wraps to 2^64 iterations; leave unknown
+    loop.init = init;
+    loop.tripCount = init;
+}
+
+} // namespace
+
+std::vector<int>
+cfgDominators(const Cfg &cfg)
+{
+    std::vector<int> idom(cfg.blocks.size(), -1);
+    std::vector<int> rpo = reversePostorder(cfg);
+    if (rpo.empty())
+        return idom;
+    std::vector<int> rpoIndex(cfg.blocks.size(), -1);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[static_cast<size_t>(rpo[i])] = static_cast<int>(i);
+
+    idom[static_cast<size_t>(cfg.entryBlock)] = cfg.entryBlock;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == cfg.entryBlock)
+                continue;
+            int newIdom = -1;
+            for (int p : cfg.blocks[static_cast<size_t>(b)].preds) {
+                if (idom[static_cast<size_t>(p)] == -1)
+                    continue;
+                if (newIdom == -1) {
+                    newIdom = p;
+                    continue;
+                }
+                // Intersect along idom chains by RPO index.
+                int f1 = p, f2 = newIdom;
+                while (f1 != f2) {
+                    while (rpoIndex[static_cast<size_t>(f1)] >
+                           rpoIndex[static_cast<size_t>(f2)])
+                        f1 = idom[static_cast<size_t>(f1)];
+                    while (rpoIndex[static_cast<size_t>(f2)] >
+                           rpoIndex[static_cast<size_t>(f1)])
+                        f2 = idom[static_cast<size_t>(f2)];
+                }
+                newIdom = f1;
+            }
+            if (newIdom != -1 && idom[static_cast<size_t>(b)] != newIdom) {
+                idom[static_cast<size_t>(b)] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+BinLoopForest
+findCfgLoops(const Cfg &cfg)
+{
+    BinLoopForest forest;
+    if (cfg.entryBlock < 0)
+        return forest;
+    std::vector<int> idom = cfgDominators(cfg);
+
+    // Back edges b -> h where h dominates b; group latches per header.
+    std::vector<std::vector<int>> latchesOf(cfg.blocks.size());
+    for (const BasicBlock &b : cfg.blocks) {
+        for (int s : b.succs) {
+            if (idom[static_cast<size_t>(b.id)] != -1 &&
+                dominates(idom, s, b.id))
+                latchesOf[static_cast<size_t>(s)].push_back(b.id);
+        }
+    }
+
+    for (const BasicBlock &h : cfg.blocks) {
+        const auto &latches = latchesOf[static_cast<size_t>(h.id)];
+        if (latches.empty())
+            continue;
+        BinLoop loop;
+        loop.header = h.id;
+        loop.latches = latches;
+
+        // Natural-loop body: everything reaching a latch without
+        // passing through the header.
+        std::set<int> body{h.id};
+        std::vector<int> work;
+        for (int l : latches) {
+            if (body.insert(l).second)
+                work.push_back(l);
+        }
+        while (!work.empty()) {
+            int b = work.back();
+            work.pop_back();
+            for (int p : cfg.blocks[static_cast<size_t>(b)].preds) {
+                if (body.insert(p).second)
+                    work.push_back(p);
+            }
+        }
+        loop.blocks.assign(body.begin(), body.end());
+
+        for (int b : loop.blocks) {
+            for (int s : cfg.blocks[static_cast<size_t>(b)].succs) {
+                if (!body.count(s))
+                    loop.exits.push_back({b, s});
+            }
+        }
+        std::sort(loop.exits.begin(), loop.exits.end());
+        forest.loops.push_back(std::move(loop));
+    }
+
+    std::sort(forest.loops.begin(), forest.loops.end(),
+              [](const BinLoop &a, const BinLoop &b) {
+                  if (a.blocks.size() != b.blocks.size())
+                      return a.blocks.size() > b.blocks.size();
+                  return a.header < b.header;
+              });
+
+    if (!forest.loops.empty()) {
+        ReachingDefs rd(cfg, abiEntryDefined());
+        for (BinLoop &loop : forest.loops) {
+            if (loop.latches.size() != 1)
+                continue;
+            analyzeCtrCounted(cfg, rd, loop);
+            if (!loop.counted)
+                analyzeGprCounted(cfg, rd, loop);
+        }
+    }
+    return forest;
+}
+
+std::string
+BinLoopForest::dump(const Cfg &cfg) const
+{
+    std::string out;
+    for (const BinLoop &l : loops) {
+        const BasicBlock &h = cfg.blocks[static_cast<size_t>(l.header)];
+        out += strprintf("loop header=0x%llx blocks=%zu exits=%zu",
+                         (unsigned long long)h.start, l.blocks.size(),
+                         l.exits.size());
+        if (l.infinite())
+            out += " infinite";
+        if (l.counted) {
+            if (l.viaCtr)
+                out += " ctr-counted";
+            else
+                out += strprintf(" iv=r%u step=%lld bound=%lld", l.ivReg,
+                                 (long long)l.step, (long long)l.bound);
+            if (l.tripCount >= 0)
+                out += strprintf(" trips=%lld", (long long)l.tripCount);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace bp5::analysis

@@ -794,10 +794,12 @@ buildKernelIr(KernelKind k, bool hand)
 }
 
 mpc::Compiled
-compileKernel(KernelKind k, mpc::Variant v)
+compileKernel(KernelKind k, mpc::Variant v, unsigned unrollFactor)
 {
     mpc::Function fn = buildKernelIr(k, mpc::variantUsesHandIr(v));
-    return mpc::compile(std::move(fn), mpc::optionsFor(v));
+    mpc::CompileOptions opts = mpc::optionsFor(v);
+    opts.unrollFactor = unrollFactor;
+    return mpc::compile(std::move(fn), opts);
 }
 
 } // namespace bp5::kernels

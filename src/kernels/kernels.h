@@ -67,8 +67,10 @@ const char *kernelApp(KernelKind k);
  */
 mpc::Function buildKernelIr(KernelKind k, bool hand);
 
-/** Compile kernel @p k in variant @p v (selects the right builder). */
-mpc::Compiled compileKernel(KernelKind k, mpc::Variant v);
+/** Compile kernel @p k in variant @p v (selects the right builder).
+ *  @param unrollFactor counted-loop unroll factor (0/1 = off) */
+mpc::Compiled compileKernel(KernelKind k, mpc::Variant v,
+                            unsigned unrollFactor = 0);
 
 // --------------------------------------------------------------------
 // Problems: native-side descriptions of one kernel invocation.
@@ -149,7 +151,8 @@ class KernelMachine
 {
   public:
     KernelMachine(KernelKind kind, mpc::Variant variant,
-                  const sim::MachineConfig &config);
+                  const sim::MachineConfig &config,
+                  unsigned unrollFactor = 0);
 
     KernelKind kind() const { return kind_; }
     mpc::Variant variant() const { return variant_; }

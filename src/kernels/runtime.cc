@@ -73,9 +73,11 @@ class DataWriter
 } // namespace
 
 KernelMachine::KernelMachine(KernelKind kind, mpc::Variant variant,
-                             const sim::MachineConfig &config)
+                             const sim::MachineConfig &config,
+                             unsigned unrollFactor)
     : kind_(kind), variant_(variant),
-      compiled_(compileKernel(kind, variant)), machine_(config)
+      compiled_(compileKernel(kind, variant, unrollFactor)),
+      machine_(config)
 {
     masm::Program prog = compiled_.program(kCodeBase);
     // Load-time verification: a compiled kernel with a definite binary

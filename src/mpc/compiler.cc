@@ -15,9 +15,16 @@ compile(Function fn, const CompileOptions &opts)
 {
     fn.verify();
     Compiled out;
+    if (opts.proveSafe)
+        out.prove = proveSafeLoads(fn);
     if (opts.ifConvert) {
         out.ifc = ifConvert(fn, opts.ifcOpts);
         removeUnreachableBlocks(fn);
+    }
+    if (opts.unrollFactor >= 2) {
+        UnrollOptions uo;
+        uo.factor = opts.unrollFactor;
+        out.unroll = unrollLoops(fn, uo);
     }
     if (opts.runDce)
         out.dceRemoved = deadCodeElim(fn);
@@ -38,6 +45,7 @@ variantName(Variant v)
       case Variant::CompIsel: return "comp. isel";
       case Variant::CompMax: return "comp. max";
       case Variant::Combination: return "Combination";
+      case Variant::CompSpec: return "comp. spec";
       default: return "?";
     }
 }
@@ -75,6 +83,12 @@ optionsFor(Variant v)
       case Variant::Combination:
         o.ifConvert = true;
         o.cg.emitMax = true;
+        o.cg.emitIsel = true;
+        break;
+      case Variant::CompSpec:
+        o.ifConvert = true;
+        o.proveSafe = true;
+        o.ifcOpts.mergeStores = true;
         o.cg.emitIsel = true;
         break;
       default:

@@ -26,6 +26,7 @@
 
 #include "isa/inst.h"
 #include "masm/assembler.h"
+#include "mpc/absint.h"
 #include "mpc/codegen.h"
 #include "mpc/ir.h"
 #include "mpc/passes.h"
@@ -36,7 +37,18 @@ namespace bp5::mpc {
 struct CompileOptions
 {
     bool ifConvert = false;
+
+    /**
+     * Run the abstract-interpretation safety pre-pass (absint.h)
+     * before if-conversion: loads whose address is must-accessed at
+     * their own program point get their `safe` bit proven rather than
+     * trusted from the builder's annotation.
+     */
+    bool proveSafe = false;
     IfConvertOptions ifcOpts;
+
+    /** Unroll counted loops by this factor (0/1 = off; see passes.h). */
+    unsigned unrollFactor = 0;
     CodegenOptions cg;
     bool runDce = true;
 };
@@ -46,6 +58,8 @@ struct Compiled
 {
     std::vector<isa::Inst> insts;
     IfConvertStats ifc;
+    ProveStats prove;
+    UnrollStats unroll;
     CodegenStats cg;
     unsigned dceRemoved = 0;
 
@@ -56,7 +70,8 @@ struct Compiled
 /** Run passes and lower @p fn (taken by value; passes mutate it). */
 Compiled compile(Function fn, const CompileOptions &opts);
 
-/** The paper's code variants (Fig 3, Table II). */
+/** The paper's code variants (Fig 3, Table II) plus "comp. spec",
+ *  this repo's analysis-driven extension of "comp. isel". */
 enum class Variant
 {
     Baseline,  ///< "Original"
@@ -65,6 +80,7 @@ enum class Variant
     CompIsel,
     CompMax,
     Combination,
+    CompSpec,  ///< "comp. spec": proven-safe speculation + store merge
     NUM_VARIANTS,
 };
 

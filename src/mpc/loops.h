@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Natural-loop detection over mpc IR with induction-variable and
+ * trip-count analysis (DESIGN.md §4.9).  The kernels' loops are all
+ * rotated do-while loops (`bdy: ...; iv += step; br cond iv, limit,
+ * bdy, exit`), which is the shape the unroll pass (passes.h) consumes;
+ * this analysis also recognizes the general dominator-based definition
+ * so irreducible or multi-latch regions are reported rather than
+ * silently skipped.
+ */
+
+#ifndef BIOPERF5_MPC_LOOPS_H
+#define BIOPERF5_MPC_LOOPS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpc/ir.h"
+
+namespace bp5::mpc {
+
+/** One natural loop. */
+struct IrLoop
+{
+    int header = -1;
+    std::vector<int> latches; ///< blocks with a back edge to header
+    std::vector<int> blocks;  ///< loop body incl. header, sorted
+    std::vector<int> exits;   ///< in-loop blocks with an edge out
+
+    /** Rotated-counted-loop facts (valid when hasCountedShape). */
+    bool hasCountedShape = false;
+    VReg iv = kNoReg;      ///< the stepped register
+    int64_t step = 0;      ///< per-iteration increment (> 0)
+    VReg limit = kNoReg;   ///< loop-invariant bound register
+    Cond cond = Cond::LE;  ///< continue while `iv cond limit`
+
+    /** Body executions when init and limit are compile-time constants;
+     *  -1 when unknown. */
+    int64_t tripCount = -1;
+
+    bool
+    contains(int blk) const
+    {
+        for (int b : blocks)
+            if (b == blk)
+                return true;
+        return false;
+    }
+};
+
+/** Loop forest of a function. */
+struct IrLoopForest
+{
+    std::vector<IrLoop> loops; ///< outermost-first per nest
+
+    /** True if @p inner's blocks are a strict subset of @p outer's. */
+    static bool nestedIn(const IrLoop &inner, const IrLoop &outer);
+
+    std::string dump(const Function &fn) const;
+};
+
+/** Immediate-dominator tree (idom[0] == 0; unreachable blocks -1). */
+std::vector<int> dominators(const Function &fn);
+
+/** Find all natural loops of @p fn. */
+IrLoopForest findLoops(const Function &fn);
+
+} // namespace bp5::mpc
+
+#endif // BIOPERF5_MPC_LOOPS_H

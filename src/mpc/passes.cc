@@ -60,6 +60,9 @@ struct Side
     bool shapeOk = false;  ///< single-pred block ending in a jump
     bool unsafe = false;   ///< contains code that cannot speculate
     bool viable = false;   ///< shapeOk && !unsafe
+    unsigned stores = 0;   ///< store instructions in the side
+    int storeIdx = -1;     ///< index of the store when stores == 1
+    bool mergeViable = false; ///< shapeOk, one store, rest speculatable
 };
 
 Side
@@ -77,25 +80,76 @@ analyzeSide(const Function &fn, int blk, int pred, unsigned maxInsts)
     if (b.insts.size() - 1 > maxInsts)
         return s;
     s.shapeOk = true;
+    bool hardUnsafe = false;
     for (size_t k = 0; k + 1 < b.insts.size(); ++k) {
-        if (!speculatable(b.insts[k])) {
-            s.unsafe = true;
-            break;
+        const IrInst &i = b.insts[k];
+        if (i.op == IrOp::Store) {
+            ++s.stores;
+            s.storeIdx = s.stores == 1 ? static_cast<int>(k) : -1;
+        } else if (!speculatable(i)) {
+            hardUnsafe = true;
         }
     }
+    s.unsafe = hardUnsafe || s.stores > 0;
     s.viable = s.shapeOk && !s.unsafe;
+    // Merging moves the store to the end of the fused arms, so it must
+    // already be the arm's last real instruction (nothing in its own
+    // arm observes memory after it).
+    s.mergeViable = s.shapeOk && !hardUnsafe && s.stores == 1 &&
+                    s.storeIdx == static_cast<int>(b.insts.size()) - 2;
     return s;
+}
+
+/** True when any instruction of @p b (excluding the terminator)
+ *  writes @p r. */
+bool
+sideDefines(const Block &b, VReg r)
+{
+    if (r == kNoReg)
+        return false;
+    for (size_t k = 0; k + 1 < b.insts.size(); ++k) {
+        const IrInst &i = b.insts[k];
+        if (i.op != IrOp::Store && i.dst == r)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * True when the two arms' stores hit provably the same address: same
+ * base/index registers and displacement/size, with neither address
+ * register redefined inside either arm (so both arms compute the
+ * address from the values live at the branch).
+ */
+bool
+storesMatch(const Function &fn, const Side &t, const Side &f)
+{
+    const Block &tb = fn.block(t.blk);
+    const Block &fb = fn.block(f.blk);
+    const IrInst &st = tb.insts[static_cast<size_t>(t.storeIdx)];
+    const IrInst &sf = fb.insts[static_cast<size_t>(f.storeIdx)];
+    if (st.a != sf.a || st.b != sf.b || st.imm != sf.imm ||
+        st.size != sf.size)
+        return false;
+    for (VReg r : {st.a, st.b}) {
+        if (sideDefines(tb, r) || sideDefines(fb, r))
+            return false;
+    }
+    return true;
 }
 
 /**
  * Copy @p side's instructions into @p out with destination renaming.
  * Returns the final renamed value of every register the side defines
  * (in definition order) and records pure copies so selects can
- * reference the original source directly.
+ * reference the original source directly.  Stores are renamed but
+ * collected separately — the caller either rejected the hammock or is
+ * merging them into one unconditional store.
  */
 struct RenamedSide
 {
     std::vector<IrInst> code;
+    std::vector<IrInst> stores; ///< renamed stores, excluded from code
     std::vector<std::pair<VReg, VReg>> finals; ///< (original, final value)
 };
 
@@ -115,6 +169,10 @@ renameSide(Function &fn, const Block &side)
         i.b = i.b == kNoReg ? i.b : use(i.b);
         i.x = i.x == kNoReg ? i.x : use(i.x);
         i.y = i.y == kNoReg ? i.y : use(i.y);
+        if (i.op == IrOp::Store) {
+            out.stores.push_back(i);
+            continue;
+        }
         VReg orig = i.dst;
         BP5_ASSERT(orig != kNoReg, "side inst without destination");
         VReg fresh = fn.newReg();
@@ -128,6 +186,8 @@ renameSide(Function &fn, const Block &side)
     // Definition order of final values.
     std::vector<VReg> order;
     for (size_t k = 0; k + 1 < side.insts.size(); ++k) {
+        if (side.insts[k].op == IrOp::Store)
+            continue;
         VReg orig = side.insts[k].dst;
         if (std::find(order.begin(), order.end(), orig) == order.end())
             order.push_back(orig);
@@ -170,8 +230,15 @@ ifConvert(Function &fn, const IfConvertOptions &opts)
             bool triangle_t = t.viable && t.join == br.fblk;
             bool triangle_f = f.viable && f.join == br.tblk;
             bool diamond = t.viable && f.viable && t.join == f.join;
+            // Store-merging: both arms end in one store to the same
+            // proven address — some store always executes, so one
+            // unconditional store of the selected value is sound.
+            bool storeDiamond = opts.mergeStores && !opts.onlyMaxPatterns &&
+                                !diamond && t.mergeViable &&
+                                f.mergeViable && t.join == f.join &&
+                                storesMatch(fn, t, f);
 
-            if (!(triangle_t || triangle_f || diamond)) {
+            if (!(triangle_t || triangle_f || diamond || storeDiamond)) {
                 if (!counting)
                     continue;
                 // Distinguish "the shape was a hammock but the code
@@ -192,6 +259,7 @@ ifConvert(Function &fn, const IfConvertOptions &opts)
             // Build the replacement: renamed side code plus selects.
             std::vector<IrInst> newCode;
             std::vector<IrInst> selects;
+            std::vector<IrInst> tailCode; ///< merged stores, after selects
             int join;
             Cond cond = br.cond;
 
@@ -207,7 +275,7 @@ ifConvert(Function &fn, const IfConvertOptions &opts)
                 selects.push_back(s);
             };
 
-            if (diamond) {
+            if (diamond || storeDiamond) {
                 RenamedSide rt = renameSide(fn, fn.block(t.blk));
                 RenamedSide rf = renameSide(fn, fn.block(f.blk));
                 join = t.join;
@@ -228,6 +296,23 @@ ifConvert(Function &fn, const IfConvertOptions &opts)
                 };
                 for (VReg o : all)
                     makeSelect(o, finalOf(rt, o, o), finalOf(rf, o, o));
+                if (storeDiamond) {
+                    // select the stored value, store it once.
+                    IrInst stT = rt.stores[0];
+                    IrInst stF = rf.stores[0];
+                    IrInst sel;
+                    sel.op = IrOp::Select;
+                    sel.dst = fn.newReg();
+                    sel.cond = cond;
+                    sel.a = br.a;
+                    sel.b = br.b;
+                    sel.x = stT.x;
+                    sel.y = stF.x;
+                    IrInst merged = stT; // address regs proven equal
+                    merged.x = sel.dst;
+                    tailCode.push_back(sel);
+                    tailCode.push_back(merged);
+                }
             } else if (triangle_t) {
                 RenamedSide rt = renameSide(fn, fn.block(t.blk));
                 join = br.fblk;
@@ -266,19 +351,23 @@ ifConvert(Function &fn, const IfConvertOptions &opts)
             if (counting)
                 continue; // converged: rejections only
 
-            // Splice: side code + selects replace the branch; fall
-            // through to the join block.
+            // Splice: side code + selects (+ merged store) replace the
+            // branch; fall through to the join block.
             a.insts.pop_back(); // the Br
             for (IrInst &i : newCode)
                 a.insts.push_back(i);
             for (IrInst &s : selects)
                 a.insts.push_back(s);
+            for (IrInst &i : tailCode)
+                a.insts.push_back(i);
             IrInst j;
             j.op = IrOp::Jump;
             j.tblk = join;
             a.insts.push_back(j);
 
             ++stats.converted;
+            if (storeDiamond)
+                ++stats.mergedStores;
             changed = true;
         }
     }

@@ -20,6 +20,7 @@ namespace bp5::mpc {
 struct IfConvertStats
 {
     unsigned converted = 0;       ///< hammocks rewritten to selects
+    unsigned mergedStores = 0;    ///< diamonds converted by store merging
     unsigned rejectedUnsafe = 0;  ///< blocked by unprovable loads/stores
     unsigned rejectedShape = 0;   ///< region not a hammock / too large
     unsigned rejectedPattern = 0; ///< not max/min-shaped (max-only mode)
@@ -34,6 +35,18 @@ struct IfConvertOptions
      * false, any safe hammock becomes isel-able selects.
      */
     bool onlyMaxPatterns = false;
+
+    /**
+     * Convert diamonds whose two arms both end in one store to the
+     * *same* proven address (same base/index registers, neither
+     * redefined inside the arms, same displacement and size): compute
+     * both values, select, store once unconditionally.  Sound because
+     * some store to that address executes on every path through the
+     * diamond — this is what the "comp. spec" variant adds over
+     * "comp. isel" on the Clustalw F-row and Hmmer insert-row
+     * hammocks.
+     */
+    bool mergeStores = false;
     unsigned maxHammockInsts = 8; ///< side-block size limit
 };
 
@@ -58,6 +71,34 @@ unsigned deadCodeElim(Function &fn);
  * @return IrOp::Max, IrOp::Min, or IrOp::Select if neither.
  */
 IrOp classifySelect(const IrInst &sel);
+
+/** Loop-unrolling knobs. */
+struct UnrollOptions
+{
+    unsigned factor = 0;       ///< copies of the body (>= 2 to enable)
+    unsigned maxBodyInsts = 96; ///< skip loops bigger than this
+};
+
+/** Outcome statistics of the unroll pass. */
+struct UnrollStats
+{
+    unsigned unrolled = 0; ///< loops transformed
+    unsigned rejected = 0; ///< counted loops skipped (size/shape)
+};
+
+/**
+ * Unroll rotated counted do-while loops (see loops.h for the shape
+ * requirements) by UnrollOptions::factor using a guarded main body
+ * plus the original loop as the remainder: entry and the unrolled
+ * back edge test `iv cond limit - step*(factor-1)`, which proves the
+ * removed intermediate latch checks true; a tail test on the original
+ * bound routes leftover iterations through the untouched original
+ * loop.  Architectural results are bit-identical to the rolled form
+ * (differential-tested); legality assumes `limit - step*(factor-1)`
+ * does not wrap, which holds for any bound derived from an in-memory
+ * object size.
+ */
+UnrollStats unrollLoops(Function &fn, const UnrollOptions &opts);
 
 } // namespace bp5::mpc
 

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Loop unrolling over mpc IR (DESIGN.md §4.9).  Consumes the counted
+ * rotated-loop shape recognized by loops.h and rewrites
+ *
+ *     pre:  ...                          pre:  ...
+ *           jump H                             jump G
+ *     H:    body                        G:    limU = limit - (U-1)*step
+ *           iv += step                        br cond iv, limU, C0, H
+ *           br cond iv, limit, H, E     C0:   body; iv += step; jump C1
+ *                                       ...
+ *                                       CU-1: body; iv += step
+ *                                             br cond iv, limU, C0, T
+ *                                       T:    br cond iv, limit, H, E
+ *                                       H:    (original loop = remainder)
+ *
+ * The guard `iv cond limit - (U-1)*step` holding at the top of the
+ * unrolled body proves every removed intermediate latch check true, so
+ * the clones chain unconditionally; leftover iterations drain through
+ * the untouched original loop.  Register state needs no renaming: each
+ * clone re-executes the same instructions on the same virtual
+ * registers the rolled iteration would have.
+ */
+
+#include <map>
+#include <set>
+
+#include "mpc/loops.h"
+#include "mpc/passes.h"
+#include "support/logging.h"
+
+namespace bp5::mpc {
+
+namespace {
+
+size_t
+bodyInstCount(const Function &fn, const IrLoop &loop)
+{
+    size_t n = 0;
+    for (int b : loop.blocks)
+        n += fn.block(b).insts.size();
+    return n;
+}
+
+/** True when another loop in @p forest nests strictly inside @p l. */
+bool
+hasInnerLoop(const IrLoopForest &forest, const IrLoop &l)
+{
+    for (const IrLoop &o : forest.loops) {
+        if (&o != &l && IrLoopForest::nestedIn(o, l))
+            return true;
+    }
+    return false;
+}
+
+bool
+unrollOne(Function &fn, const IrLoop &loop, unsigned factor)
+{
+    const int header = loop.header;
+    const int latch = loop.latches[0];
+    const IrInst br = fn.block(latch).terminator();
+    const int exitBlk = br.tblk == header ? br.fblk : br.tblk;
+    const Cond cond = loop.cond; // continue while `iv cond limit`
+
+    __int128 delta = static_cast<__int128>(loop.step) * (factor - 1);
+    if (delta > INT64_MAX)
+        return false;
+
+    std::set<int> inLoop(loop.blocks.begin(), loop.blocks.end());
+    // Predecessors entering the loop from outside, captured before any
+    // new blocks exist; these are the edges the guard intercepts.
+    std::vector<int> outsidePreds;
+    for (int p : fn.predecessors(header)) {
+        if (!inLoop.count(p))
+            outsidePreds.push_back(p);
+    }
+    if (outsidePreds.empty())
+        return false; // entry block is the header; nothing to guard
+
+    const std::string base = fn.block(header).name;
+
+    // Allocate all new blocks first (ids are stable thereafter).
+    std::vector<std::map<int, int>> cloneOf(factor);
+    for (unsigned u = 0; u < factor; ++u) {
+        for (int b : loop.blocks) {
+            cloneOf[u][b] = fn.addBlock(
+                base + ".u" + std::to_string(u) + "." +
+                fn.block(b).name);
+        }
+    }
+    int guardId = fn.addBlock(base + ".unroll.guard");
+    int tailId = fn.addBlock(base + ".unroll.tail");
+
+    // Guard: limU = limit - (U-1)*step; enter the unrolled body only
+    // when `iv cond limU` proves the next `factor` latch checks.
+    VReg limU = fn.newReg();
+    {
+        Block &g = fn.block(guardId);
+        IrInst sub;
+        sub.op = IrOp::AddI;
+        sub.dst = limU;
+        sub.a = loop.limit;
+        sub.imm = -static_cast<int64_t>(delta);
+        g.insts.push_back(sub);
+        IrInst t;
+        t.op = IrOp::Br;
+        t.cond = cond;
+        t.a = loop.iv;
+        t.b = limU;
+        t.tblk = cloneOf[0][header];
+        t.fblk = header;
+        g.insts.push_back(t);
+    }
+    // Tail: the original latch test routes leftover iterations through
+    // the untouched loop.
+    {
+        Block &t = fn.block(tailId);
+        IrInst i;
+        i.op = IrOp::Br;
+        i.cond = cond;
+        i.a = loop.iv;
+        i.b = loop.limit;
+        i.tblk = header;
+        i.fblk = exitBlk;
+        t.insts.push_back(i);
+    }
+
+    // Fill the clones: same instructions, intra-loop edges remapped,
+    // the latch check of clone u chaining to clone u+1 (proven taken
+    // under the guard) and clone factor-1 re-testing the guard.
+    for (unsigned u = 0; u < factor; ++u) {
+        for (int b : loop.blocks) {
+            Block &dst = fn.block(cloneOf[u][b]);
+            dst.insts = fn.block(b).insts;
+            IrInst &t = dst.insts.back();
+            if (b == latch) {
+                if (u + 1 < factor) {
+                    IrInst j;
+                    j.op = IrOp::Jump;
+                    j.tblk = cloneOf[u + 1][header];
+                    t = j;
+                } else {
+                    IrInst nt;
+                    nt.op = IrOp::Br;
+                    nt.cond = cond;
+                    nt.a = loop.iv;
+                    nt.b = limU;
+                    nt.tblk = cloneOf[0][header];
+                    nt.fblk = tailId;
+                    t = nt;
+                }
+            } else if (t.op == IrOp::Br) {
+                if (inLoop.count(t.tblk))
+                    t.tblk = cloneOf[u][t.tblk];
+                if (inLoop.count(t.fblk))
+                    t.fblk = cloneOf[u][t.fblk];
+            } else if (t.op == IrOp::Jump) {
+                if (inLoop.count(t.tblk))
+                    t.tblk = cloneOf[u][t.tblk];
+            }
+        }
+    }
+
+    // Intercept outside entries: header -> guard.
+    for (int p : outsidePreds) {
+        IrInst &t = fn.block(p).insts.back();
+        if (t.op == IrOp::Br) {
+            if (t.tblk == header)
+                t.tblk = guardId;
+            if (t.fblk == header)
+                t.fblk = guardId;
+        } else if (t.op == IrOp::Jump && t.tblk == header) {
+            t.tblk = guardId;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+UnrollStats
+unrollLoops(Function &fn, const UnrollOptions &opts)
+{
+    UnrollStats stats;
+    if (opts.factor < 2)
+        return stats;
+    // One analysis pass: innermost counted loops are independent, and
+    // unrolling only appends blocks and retargets edges into the
+    // processed loop's header, so earlier candidates stay valid.
+    IrLoopForest forest = findLoops(fn);
+    for (const IrLoop &l : forest.loops) {
+        if (!l.hasCountedShape || l.header == 0 || hasInnerLoop(forest, l))
+            continue;
+        if (bodyInstCount(fn, l) > opts.maxBodyInsts) {
+            ++stats.rejected;
+            continue;
+        }
+        if (unrollOne(fn, l, opts.factor))
+            ++stats.unrolled;
+        else
+            ++stats.rejected;
+    }
+    return stats;
+}
+
+} // namespace bp5::mpc

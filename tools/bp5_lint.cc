@@ -9,13 +9,18 @@
  *
  * Options:
  *   --json       emit one JSON Lines record per program instead of text
- *   --pedantic   also warn about dead GPR definitions
+ *   --pedantic   also warn about dead GPR definitions, unprovable
+ *                memory accesses and statically-infinite loops; any
+ *                warning then fails the run
  *   --cfg        dump the reconstructed CFG of each program
+ *   --loops      dump the natural-loop analysis of each program
  *   --classify   print the static branch-class table of each program
  *   --base=N     load address for .masm files (default 0x10000)
+ *   --region=B:S declare a valid data region (base:size, repeatable)
  *
- * Exit status: 0 when no program has lint errors, 1 otherwise
- * (warnings do not fail the run), 2 on usage or input errors.
+ * Exit status: 0 when no program has lint errors (and, under
+ * --pedantic, no warnings either), 1 otherwise, 2 on usage or input
+ * errors.
  */
 
 #include <cstring>
@@ -26,6 +31,7 @@
 
 #include "analysis/branch_class.h"
 #include "analysis/lint.h"
+#include "analysis/loops.h"
 #include "kernels/kernels.h"
 #include "support/logging.h"
 #include "support/result.h"
@@ -39,9 +45,11 @@ struct Options
     bool json = false;
     bool pedantic = false;
     bool dumpCfg = false;
+    bool dumpLoops = false;
     bool classify = false;
     bool kernels = false;
     uint64_t base = 0x10000;
+    std::vector<analysis::MemRegion> regions;
     std::vector<std::string> files;
 };
 
@@ -49,13 +57,14 @@ void
 usage()
 {
     std::fputs(
-        "usage: bp5-lint [--json] [--pedantic] [--cfg] [--classify]\n"
-        "                [--base=ADDR] (file.masm ... | --kernels)\n",
+        "usage: bp5-lint [--json] [--pedantic] [--cfg] [--loops]\n"
+        "                [--classify] [--base=ADDR] [--region=BASE:SIZE]\n"
+        "                (file.masm ... | --kernels)\n",
         stderr);
 }
 
-/** Lint one named program; returns its error count. */
-unsigned
+/** Lint one named program; returns the report (caller aggregates). */
+analysis::LintReport
 lintOne(const std::string &name, const masm::Program &prog,
         const Options &opts)
 {
@@ -63,10 +72,13 @@ lintOne(const std::string &name, const masm::Program &prog,
         analysis::buildCfg(analysis::CodeImage::fromProgram(prog));
     analysis::LintOptions lo;
     lo.pedantic = opts.pedantic;
+    lo.regions = opts.regions;
     analysis::LintReport report = analysis::lint(cfg, lo);
 
     if (opts.dumpCfg)
         std::fputs(cfg.dump().c_str(), stdout);
+    if (opts.dumpLoops)
+        std::fputs(analysis::findCfgLoops(cfg).dump(cfg).c_str(), stdout);
 
     if (opts.json) {
         std::fputs(
@@ -97,7 +109,7 @@ lintOne(const std::string &name, const masm::Program &prog,
                              : support::emitText(rows, title).c_str(),
                    stdout);
     }
-    return report.errors();
+    return report;
 }
 
 } // namespace
@@ -114,6 +126,20 @@ main(int argc, char **argv)
             opts.pedantic = true;
         } else if (arg == "--cfg") {
             opts.dumpCfg = true;
+        } else if (arg == "--loops") {
+            opts.dumpLoops = true;
+        } else if (arg.rfind("--region=", 0) == 0) {
+            std::string spec = arg.substr(9);
+            size_t colon = spec.find(':');
+            if (colon == std::string::npos) {
+                usage();
+                return 2;
+            }
+            analysis::MemRegion r;
+            r.base = std::stoull(spec.substr(0, colon), nullptr, 0);
+            r.size = std::stoull(spec.substr(colon + 1), nullptr, 0);
+            r.name = spec;
+            opts.regions.push_back(std::move(r));
         } else if (arg == "--classify") {
             opts.classify = true;
         } else if (arg == "--kernels") {
@@ -136,6 +162,7 @@ main(int argc, char **argv)
     }
 
     unsigned errors = 0;
+    unsigned warnings = 0;
 
     for (const std::string &path : opts.files) {
         std::ifstream in(path);
@@ -147,7 +174,9 @@ main(int argc, char **argv)
         text << in.rdbuf();
         try {
             masm::Program prog = masm::assemble(text.str(), opts.base);
-            errors += lintOne(path, prog, opts);
+            analysis::LintReport report = lintOne(path, prog, opts);
+            errors += report.errors();
+            warnings += report.warnings();
         } catch (const masm::AsmError &e) {
             std::fprintf(stderr, "bp5-lint: %s:%d: %s\n", path.c_str(),
                          e.line, e.message.c_str());
@@ -167,11 +196,16 @@ main(int argc, char **argv)
                 std::string name =
                     strprintf("%s/%s", kernels::kernelName(kind),
                               mpc::variantName(variant));
-                errors += lintOne(name, compiled.program(kernels::kCodeBase),
-                                  opts);
+                analysis::LintReport report =
+                    lintOne(name, compiled.program(kernels::kCodeBase),
+                            opts);
+                errors += report.errors();
+                warnings += report.warnings();
             }
         }
     }
 
-    return errors ? 1 : 0;
+    // Contract: errors always fail; warnings fail only when the caller
+    // opted into the pedantic checks.
+    return errors || (opts.pedantic && warnings) ? 1 : 0;
 }

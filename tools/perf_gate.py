@@ -27,6 +27,9 @@ import json
 import sys
 
 
+REQUIRED_KEYS = ("workload", "mode", "sim_mips")
+
+
 def load_rows(path):
     """Return {(workload, mode): row} from a sim-speed JSON document."""
     with open(path) as f:
@@ -35,12 +38,25 @@ def load_rows(path):
     if not isinstance(rows, list) or not rows:
         raise ValueError(f"{path}: no 'rows' array")
     out = {}
-    for row in rows:
+    for i, row in enumerate(rows):
+        missing = [k for k in REQUIRED_KEYS if k not in row]
+        if missing:
+            raise ValueError(
+                f"{path}: row {i} is missing key(s) {', '.join(missing)}")
         key = (row["workload"], row["mode"])
         if key in out:
             raise ValueError(f"{path}: duplicate row {key}")
         out[key] = row
     return out
+
+
+def require_row(rows, workload, mode, path):
+    """Row for (workload, mode), or a readable error instead of KeyError."""
+    key = (workload, mode)
+    if key not in rows:
+        raise ValueError(
+            f"missing row (workload={workload}, mode={mode}) in {path}")
+    return rows[key]
 
 
 def main():
@@ -99,40 +115,57 @@ def main():
     with open(args.baseline) as f:
         ref = json.load(f).get("reference_pre_predecode")
     if ref:
-        ref_rows = {(r["workload"], r["mode"]): r for r in ref["rows"]}
-        ok_apps = 0
-        apps = sorted({w for (w, _) in ref_rows})
-        # One geometric-mean host-speed factor across all workloads:
-        # per-app timing ratios would double-count run-to-run noise.
-        ratios = [float(new[(w, "timing")]["sim_mips"]) /
-                  float(base[(w, "timing")]["sim_mips"])
-                  for w in apps
-                  if (w, "timing") in new and
-                  float(base[(w, "timing")]["sim_mips"]) > 0]
-        host_scale = 1.0
-        if ratios:
-            prod = 1.0
-            for r in ratios:
-                prod *= r
-            host_scale = prod ** (1.0 / len(ratios))
-        for w in apps:
-            ref_timing = float(ref_rows[(w, "timing")]["sim_mips"])
-            n = new.get((w, "functional"))
-            if n is None or ref_timing <= 0:
-                continue
-            need = args.min_speedup * ref_timing * host_scale
-            got = float(n["sim_mips"])
-            if got >= need:
-                ok_apps += 1
-            print(f"speedup {w}: functional {got:.1f} vs scaled "
-                  f"interpreter floor {need:.1f} "
-                  f"({'ok' if got >= need else 'below'})")
-        if ok_apps < args.min_speedup_apps:
-            failures.append(
-                f"compiled-engine speedup contract: only {ok_apps} "
-                f"workload(s) reach {args.min_speedup:.0f}x over the "
-                f"pre-predecode interpreter "
-                f"(need {args.min_speedup_apps})")
+        try:
+            ref_rows = {}
+            for i, r in enumerate(ref.get("rows", [])):
+                if "workload" not in r or "mode" not in r:
+                    raise ValueError(
+                        f"reference_pre_predecode row {i} in "
+                        f"{args.baseline} is missing workload/mode")
+                ref_rows[(r["workload"], r["mode"])] = r
+            ok_apps = 0
+            apps = sorted({w for (w, _) in ref_rows})
+            # One geometric-mean host-speed factor across all
+            # workloads: per-app timing ratios would double-count
+            # run-to-run noise.
+            ratios = []
+            for w in apps:
+                if (w, "timing") not in new:
+                    continue
+                brow = require_row(base, w, "timing", args.baseline)
+                if float(brow["sim_mips"]) > 0:
+                    ratios.append(float(new[(w, "timing")]["sim_mips"]) /
+                                  float(brow["sim_mips"]))
+            host_scale = 1.0
+            if ratios:
+                prod = 1.0
+                for r in ratios:
+                    prod *= r
+                host_scale = prod ** (1.0 / len(ratios))
+            for w in apps:
+                ref_timing = float(
+                    require_row(ref_rows, w, "timing",
+                                f"{args.baseline} (reference_pre_predecode)"
+                                )["sim_mips"])
+                n = new.get((w, "functional"))
+                if n is None or ref_timing <= 0:
+                    continue
+                need = args.min_speedup * ref_timing * host_scale
+                got = float(n["sim_mips"])
+                if got >= need:
+                    ok_apps += 1
+                print(f"speedup {w}: functional {got:.1f} vs scaled "
+                      f"interpreter floor {need:.1f} "
+                      f"({'ok' if got >= need else 'below'})")
+            if ok_apps < args.min_speedup_apps:
+                failures.append(
+                    f"compiled-engine speedup contract: only {ok_apps} "
+                    f"workload(s) reach {args.min_speedup:.0f}x over the "
+                    f"pre-predecode interpreter "
+                    f"(need {args.min_speedup_apps})")
+        except ValueError as e:
+            print(f"perf_gate: {e}", file=sys.stderr)
+            return 2
 
     if failures:
         print("\nperf_gate FAILED:", file=sys.stderr)

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Exit-code and JSON contract tests for bp5-lint.
+
+Invoked by ctest as:
+
+    test_lint_contract.py <path-to-bp5-lint> <examples-asm-dir>
+
+Contract under test (see tools/bp5_lint.cc):
+
+    0 = no errors (and, under --pedantic, no warnings)
+    1 = lint errors, or warnings when --pedantic was given
+    2 = usage or input errors (bad flags, unreadable/unassemblable file)
+
+and every --json line must parse as standalone JSON with properly
+escaped strings.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+LINT = None
+EXAMPLES = None
+
+CLEAN = """
+start:
+        li r14, 5
+        mtctr r14
+loop:
+        addi r14, r14, -1
+        bdnz loop
+        li r0, 0
+        li r3, 0
+        sc
+"""
+
+# Warning-only under --pedantic: a dead definition (r15 never read).
+WARN_ONLY = """
+start:
+        li r15, 7
+        li r0, 0
+        li r3, 0
+        sc
+"""
+
+# A definite error: 4-byte load from the null page.
+ERROR = """
+start:
+        li r5, 16
+        lwz r4, 0(r5)
+        li r0, 0
+        li r3, 0
+        sc
+"""
+
+
+def run_lint(*args):
+    return subprocess.run([LINT, *args], capture_output=True, text=True)
+
+
+def write_fixture(tmp, name, text):
+    path = os.path.join(tmp, name)
+    with open(path, "w") as f:
+        f.write(text)
+    return path
+
+
+class LintContractTest(unittest.TestCase):
+    def test_clean_file_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            p = write_fixture(tmp, "clean.masm", CLEAN)
+            r = run_lint(p)
+            self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+            self.assertIn("clean", r.stdout)
+
+    def test_error_file_exits_one(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            p = write_fixture(tmp, "bad.masm", ERROR)
+            r = run_lint(p)
+            self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+            self.assertIn("error", r.stdout)
+
+    def test_warnings_fail_only_under_pedantic(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            p = write_fixture(tmp, "warn.masm", WARN_ONLY)
+            r = run_lint(p)
+            self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+            r = run_lint("--pedantic", p)
+            self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+            self.assertIn("warning", r.stdout)
+
+    def test_usage_errors_exit_two(self):
+        self.assertEqual(run_lint().returncode, 2)          # no input
+        self.assertEqual(run_lint("--nonsense").returncode, 2)
+        self.assertEqual(run_lint("--region=broken",
+                                  "x.masm").returncode, 2)
+        self.assertEqual(run_lint("/does/not/exist.masm").returncode, 2)
+
+    def test_unassemblable_file_exits_two(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            p = write_fixture(tmp, "junk.masm", "frobnicate r1, r2\n")
+            r = run_lint(p)
+            self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+            self.assertIn("junk.masm", r.stderr)
+
+    def test_region_flag_silences_pedantic_warning(self):
+        prog = """
+start:
+        li r5, 0x4100
+        stw r6, 4(r5)
+        li r0, 0
+        li r3, 0
+        sc
+"""
+        with tempfile.TemporaryDirectory() as tmp:
+            p = write_fixture(tmp, "region.masm", prog)
+            self.assertEqual(run_lint("--pedantic", p).returncode, 1)
+            r = run_lint("--pedantic", "--region=0x4000:0x1000", p)
+            self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_json_lines_are_valid_json(self):
+        # Include a path with a quote and a backslash so the title
+        # exercises string escaping end to end.
+        with tempfile.TemporaryDirectory() as tmp:
+            sub = os.path.join(tmp, 'odd" \\name')
+            os.mkdir(sub)
+            paths = [write_fixture(sub, "a.masm", ERROR),
+                     write_fixture(sub, "b.masm", WARN_ONLY)]
+            r = run_lint("--json", "--pedantic", *paths)
+            self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+            lines = [l for l in r.stdout.splitlines() if l.strip()]
+            self.assertEqual(len(lines), len(paths))
+            for line in lines:
+                doc = json.loads(line)  # must not raise
+                self.assertIn("title", doc)
+                self.assertIn("rows", doc)
+            # The error row carries the structured fields the CI report
+            # consumers rely on.
+            err_doc = json.loads(lines[0])
+            row = err_doc["rows"][0]
+            for key in ("program", "severity", "code", "pc", "message"):
+                self.assertIn(key, row)
+            self.assertEqual(row["code"], "out-of-bounds-access")
+
+    def test_shipped_examples_pedantic_clean(self):
+        masms = sorted(
+            os.path.join(EXAMPLES, f) for f in os.listdir(EXAMPLES)
+            if f.endswith(".masm"))
+        self.assertTrue(masms, f"no .masm fixtures in {EXAMPLES}")
+        r = run_lint("--pedantic", "--json", *masms)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        for line in r.stdout.splitlines():
+            if line.strip():
+                json.loads(line)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 3:
+        sys.exit("usage: test_lint_contract.py <bp5-lint> <examples-dir>")
+    EXAMPLES = sys.argv.pop()
+    LINT = sys.argv.pop()
+    unittest.main()

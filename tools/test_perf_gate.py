@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Unit/smoke tests for tools/perf_gate.py.
+
+Runs the gate as a subprocess against synthetic baseline/new JSON
+documents and checks the exit-status contract:
+
+    0 = within bounds, 1 = regression / missing point, 2 = schema error
+
+Schema errors must produce a readable one-line message, never a
+KeyError traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "perf_gate.py")
+
+
+def rows_doc(points, reference=None):
+    doc = {"rows": [{"workload": w, "mode": m, "sim_mips": v}
+                    for (w, m, v) in points]}
+    if reference is not None:
+        doc["reference_pre_predecode"] = {
+            "rows": [{"workload": w, "mode": m, "sim_mips": v}
+                     for (w, m, v) in reference]}
+    return doc
+
+
+def run_gate(baseline_doc, new_doc, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        bpath = os.path.join(tmp, "baseline.json")
+        npath = os.path.join(tmp, "new.json")
+        with open(bpath, "w") as f:
+            json.dump(baseline_doc, f)
+        with open(npath, "w") as f:
+            json.dump(new_doc, f)
+        return subprocess.run(
+            [sys.executable, GATE, "--baseline", bpath, "--new", npath,
+             *extra],
+            capture_output=True, text=True)
+
+
+BASE_POINTS = [("clustalw", "functional", 100.0),
+               ("clustalw", "timing", 10.0),
+               ("hmmer", "functional", 120.0),
+               ("hmmer", "timing", 12.0)]
+
+
+class PerfGateTest(unittest.TestCase):
+    def test_identical_runs_pass(self):
+        r = run_gate(rows_doc(BASE_POINTS), rows_doc(BASE_POINTS))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("perf_gate OK", r.stdout)
+
+    def test_small_drop_within_tolerance_passes(self):
+        new = [(w, m, v * 0.9) for (w, m, v) in BASE_POINTS]
+        r = run_gate(rows_doc(BASE_POINTS), rows_doc(new))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_regression_fails(self):
+        new = [(w, m, v * 0.5) for (w, m, v) in BASE_POINTS]
+        r = run_gate(rows_doc(BASE_POINTS), rows_doc(new))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_missing_point_fails(self):
+        new = BASE_POINTS[:-1]
+        r = run_gate(rows_doc(BASE_POINTS), rows_doc(new))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing point", r.stderr)
+
+    def test_row_without_sim_mips_is_schema_error(self):
+        doc = rows_doc(BASE_POINTS)
+        del doc["rows"][0]["sim_mips"]
+        r = run_gate(doc, rows_doc(BASE_POINTS))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("missing key(s) sim_mips", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_speedup_contract_passes_when_fast_enough(self):
+        base = rows_doc(BASE_POINTS,
+                        reference=[("clustalw", "timing", 5.0),
+                                   ("hmmer", "timing", 6.0)])
+        r = run_gate(base, rows_doc(BASE_POINTS), "--min-speedup-apps", "2")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("speedup clustalw", r.stdout)
+
+    def test_speedup_contract_fails_when_slow(self):
+        base = rows_doc(BASE_POINTS,
+                        reference=[("clustalw", "timing", 50.0),
+                                   ("hmmer", "timing", 60.0)])
+        r = run_gate(base, rows_doc(BASE_POINTS), "--min-speedup-apps", "2")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("speedup contract", r.stderr)
+
+    def test_reference_missing_timing_row_is_readable_error(self):
+        # The new record has a timing row for a workload the baseline
+        # 'rows' lack: must be a message, not a KeyError.
+        base = rows_doc(BASE_POINTS,
+                        reference=[("blast", "timing", 5.0)])
+        new = rows_doc(BASE_POINTS + [("blast", "timing", 7.0)])
+        r = run_gate(base, new)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("missing row (workload=blast, mode=timing)",
+                      r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

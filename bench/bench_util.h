@@ -38,6 +38,7 @@ struct BenchOptions
     unsigned threads = 0; ///< sweep worker count; 0 = hardware
     bool json = false;    ///< emit result tables as JSON
     bool analyze = false; ///< join static branch classes with the PMU
+    bool cpi = false;     ///< append CPI-stack share columns
     std::string manifest; ///< run-manifest path ("-" = stdout, "" = off)
     std::string pmuCsv;   ///< write the PMU interval series here
 
@@ -65,6 +66,8 @@ struct BenchOptions
                 o.json = true;
             } else if (a == "--analyze") {
                 o.analyze = true;
+            } else if (a == "--cpi") {
+                o.cpi = true;
             } else if (const char *v = val("--manifest=")) {
                 o.manifest = v;
             } else if (const char *v = val("--pmu-csv=")) {
@@ -72,7 +75,7 @@ struct BenchOptions
             } else if (a == "--help" || a == "-h") {
                 std::printf("usage: %s [--klass=A|B|C] [--budget=N] "
                             "[--seed=N] [--threads=N] [--json] "
-                            "[--analyze] [--manifest=PATH] "
+                            "[--analyze] [--cpi] [--manifest=PATH] "
                             "[--pmu-csv=PATH]\n",
                             argv[0]);
                 std::exit(0);
@@ -262,6 +265,23 @@ inline std::string
 pct(double fraction, int precision = 1)
 {
     return bp5::TextTable::pct(fraction, precision);
+}
+
+/**
+ * Append the CPI-stack share columns the fig benches grow under
+ * --cpi: completing plus the paper's stall narrative (branch flush,
+ * data-side, FXU, frontend).  Shares of total cycles, so rows of
+ * different lengths stay comparable; the exact per-component cycle
+ * counts go to the manifest (see obs::addCpiCells).
+ */
+inline void
+addCpiColumns(driver::ResultRow &row, const sim::Counters &c)
+{
+    row.setPct("done/cyc", c.cpiShare(sim::CpiComponent::Completing))
+        .setPct("flush/cyc", c.cpiShare(sim::CpiComponent::BranchFlush))
+        .setPct("data/cyc", c.cpiDataShare())
+        .setPct("fxu/cyc", c.cpiShare(sim::CpiComponent::Fxu))
+        .setPct("front/cyc", c.cpiShare(sim::CpiComponent::Frontend));
 }
 
 inline std::string

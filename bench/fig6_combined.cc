@@ -65,6 +65,18 @@ main(int argc, char **argv)
             .set("all", ipcAll)
             .setGainPct("total gain", gain)
             .set("(paper)", "+" + num(p.finalGainPct, 0) + "%");
+        if (opts.cpi) {
+            // Cycle accounting of base vs all-enhancements: the flush
+            // share collapsing is where the combined gain comes from.
+            const sim::Counters &cb = res[b + 0].sim.counters;
+            const sim::Counters &ca = res[b + 4].sim.counters;
+            row.setPct("flush/cyc base",
+                       cb.cpiShare(sim::CpiComponent::BranchFlush))
+                .setPct("flush/cyc all",
+                        ca.cpiShare(sim::CpiComponent::BranchFlush))
+                .setPct("done/cyc all",
+                        ca.cpiShare(sim::CpiComponent::Completing));
+        }
         rows.push_back(row);
     }
     opts.emit(rows);

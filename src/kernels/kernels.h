@@ -240,6 +240,18 @@ class KernelMachine
         return machine_.branchProfile();
     }
 
+    /**
+     * Collect the per-PC flat stall profile (see sim::StallProfile):
+     * non-completing cycles charged to the blamed instruction address
+     * by CpiComponent.  Accumulates across run() calls; cleared by
+     * reset().
+     */
+    void setStallProfiling(bool on) { machine_.setStallProfiling(on); }
+    const sim::StallProfile &stallProfile() const
+    {
+        return machine_.stallProfile();
+    }
+
   private:
     int64_t invoke(const std::vector<uint64_t> &args, int64_t expected);
     void rewire();

@@ -123,21 +123,54 @@ class Parser
     }
 
     bool
+    digits()
+    {
+        if (pos_ >= s_.size() ||
+            !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+            return false;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+        return true;
+    }
+
+    bool
     number(JsonValue &out)
     {
+        // Strict RFC 8259 grammar: -?int frac? exp?.  The previous
+        // scan-then-strtod approach accepted "+1", ".5", "5." and
+        // "01", and mis-ate sign characters inside the token; CPI
+        // fractions like "1e-3" and "-0.0" exercise every branch.
         size_t start = pos_;
-        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+        if (pos_ < s_.size() && s_[pos_] == '-')
             ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-                s_[pos_] == '-' || s_[pos_] == '+'))
+        if (pos_ < s_.size() && s_[pos_] == '0') {
+            ++pos_; // a leading zero must stand alone ("0", "0.5")
+            if (pos_ < s_.size() &&
+                std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                return fail("bad number");
+        } else if (!digits()) {
+            return fail("bad number");
+        }
+        if (pos_ < s_.size() && s_[pos_] == '.') {
             ++pos_;
+            if (!digits())
+                return fail("bad number");
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                return fail("bad number");
+        }
         std::string tok = s_.substr(start, pos_ - start);
         char *end = nullptr;
         double v = std::strtod(tok.c_str(), &end);
-        if (end == tok.c_str() || *end != '\0')
+        if (end != tok.c_str() + tok.size())
             return fail("bad number");
+        // strtod preserves the sign of zero, so "-0" round-trips as
+        // IEEE negative zero; keep it (it still compares == 0.0).
         out.kind = JsonValue::Kind::Number;
         out.number = v;
         return true;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/cpi_stack.h"
 #include "support/logging.h"
 
 namespace bp5::obs {
@@ -33,6 +34,7 @@ addCounterCells(support::ResultRow &row, const sim::Counters &c)
         .setPct("stall_fxu", c.stallShare(sim::StallReason::FXU))
         .setPct("stall_lsu", c.stallShare(sim::StallReason::LSU))
         .setPct("stall_frontend", c.stallShare(sim::StallReason::Frontend));
+    addCpiCells(row, c);
 }
 
 support::ResultRow

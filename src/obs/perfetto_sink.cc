@@ -129,6 +129,28 @@ PerfettoSink::onRunEnd(const sim::Counters &final)
             lanes_ + kCounterLaneOffset,
             (unsigned long long)global(final.cycles), final.ipc(),
             final.branchMispredictRate(), final.l1dMissRate()));
+    // CPI-stack counter track: one stacked point per run boundary,
+    // each component as cycles-per-instruction so runs of different
+    // lengths chart comparably.
+    if (admit()) {
+        std::string args;
+        for (size_t i = 0; i < final.cpi.size(); ++i) {
+            if (!args.empty())
+                args += ',';
+            double cpi = final.instructions
+                             ? double(final.cpi[i]) /
+                                   double(final.instructions)
+                             : 0.0;
+            args += strprintf("\"%s\":%.4f",
+                              sim::cpiComponentKey(sim::CpiComponent(i)),
+                              cpi);
+        }
+        append(strprintf("{\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+                         "\"name\":\"cpi stack\",\"args\":{%s}}",
+                         lanes_ + kCounterLaneOffset,
+                         (unsigned long long)global(final.cycles),
+                         args.c_str()));
+    }
     RebasingSink::onRunEnd(final);
 }
 
@@ -191,6 +213,15 @@ PerfettoSink::finish() const
 {
     std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     out += body_;
+    // No silent truncation: if the event cap dropped anything, the
+    // document's last event says how much is missing.
+    if (dropped_ > 0) {
+        out += strprintf(",\n{\"ph\":\"M\",\"pid\":1,"
+                         "\"name\":\"dropped_events\","
+                         "\"args\":{\"count\":%llu,\"cap\":%llu}}",
+                         (unsigned long long)dropped_,
+                         (unsigned long long)maxEvents_);
+    }
     out += "\n]}\n";
     return out;
 }
@@ -203,6 +234,11 @@ PerfettoSink::writeTo(const std::string &path) const
         warn("cannot open %s for writing", path.c_str());
         return false;
     }
+    if (dropped_ > 0)
+        warn("perfetto trace %s truncated: %llu event(s) dropped past "
+             "the %llu-event cap",
+             path.c_str(), (unsigned long long)dropped_,
+             (unsigned long long)maxEvents_);
     std::string doc = finish();
     size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);

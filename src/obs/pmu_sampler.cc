@@ -31,6 +31,8 @@ sub(const sim::Counters &a, const sim::Counters &b)
     d.l2Misses = a.l2Misses - b.l2Misses;
     for (size_t i = 0; i < d.stallCycles.size(); ++i)
         d.stallCycles[i] = a.stallCycles[i] - b.stallCycles[i];
+    for (size_t i = 0; i < d.cpi.size(); ++i)
+        d.cpi[i] = a.cpi[i] - b.cpi[i];
     for (size_t i = 0; i < d.opCount.size(); ++i)
         d.opCount[i] = a.opCount[i] - b.opCount[i];
     return d;
@@ -126,15 +128,30 @@ PmuSampler::timeline(bool include_trailing) const
 }
 
 std::string
+PmuSampler::csvColumns()
+{
+    std::string cols =
+        "start_cycle,end_cycle,cycles,instructions,ipc,"
+        "branches,cond_branches,taken_branches,mispred_direction,"
+        "mispred_target,mispredict_rate,taken_bubbles,"
+        "loads,stores,l1d_accesses,l1d_misses,l1d_miss_rate,"
+        "l1i_accesses,l1i_misses,l2_misses,"
+        "stall_frontend,stall_branch,stall_fxu,stall_lsu,stall_other";
+    for (size_t i = 0; i < sim::kNumCpiComponents; ++i) {
+        cols += ",cpi_";
+        cols += sim::cpiComponentKey(sim::CpiComponent(i));
+    }
+    cols += ",partial";
+    return cols;
+}
+
+std::string
 PmuSampler::csvHeader()
 {
-    return "start_cycle,end_cycle,cycles,instructions,ipc,"
-           "branches,cond_branches,taken_branches,mispred_direction,"
-           "mispred_target,mispredict_rate,taken_bubbles,"
-           "loads,stores,l1d_accesses,l1d_misses,l1d_miss_rate,"
-           "l1i_accesses,l1i_misses,l2_misses,"
-           "stall_frontend,stall_branch,stall_fxu,stall_lsu,stall_other,"
-           "partial\n";
+    // The schema comment and the column row are generated from the
+    // same list so they cannot drift apart; parsers may key on either.
+    std::string cols = csvColumns();
+    return "# schema: " + cols + "\n" + cols + "\n";
 }
 
 std::string
@@ -147,7 +164,7 @@ PmuSampler::toCsv(bool include_trailing) const
             "%llu,%llu,%llu,%llu,%.6f,"
             "%llu,%llu,%llu,%llu,%llu,%.6f,%llu,"
             "%llu,%llu,%llu,%llu,%.6f,%llu,%llu,%llu,"
-            "%llu,%llu,%llu,%llu,%llu,%d\n",
+            "%llu,%llu,%llu,%llu,%llu",
             (unsigned long long)w.startCycle,
             (unsigned long long)w.endCycle,
             (unsigned long long)d.cycles,
@@ -171,8 +188,10 @@ PmuSampler::toCsv(bool include_trailing) const
             (unsigned long long)d.stallCycles[size_t(sim::StallReason::FXU)],
             (unsigned long long)d.stallCycles[size_t(sim::StallReason::LSU)],
             (unsigned long long)d.stallCycles[size_t(
-                sim::StallReason::Other)],
-            int(w.partial));
+                sim::StallReason::Other)]);
+        for (size_t i = 0; i < d.cpi.size(); ++i)
+            out += strprintf(",%llu", (unsigned long long)d.cpi[i]);
+        out += strprintf(",%d\n", int(w.partial));
     }
     return out;
 }
@@ -192,6 +211,8 @@ PmuSampler::toRows(bool include_trailing) const
             .setPct("mispredict", d.branchMispredictRate())
             .setPct("l1d_miss", d.l1dMissRate())
             .setPct("stall_fxu", d.stallShare(sim::StallReason::FXU))
+            .setPct("flush/cyc",
+                    d.cpiShare(sim::CpiComponent::BranchFlush))
             .set("partial", w.partial ? "yes" : "no");
         rows.push_back(std::move(row));
     }

@@ -70,7 +70,13 @@ class PmuSampler final : public sim::TraceSink
     std::vector<sim::IntervalSample>
     timeline(bool include_trailing = false) const;
 
-    /** Deterministic CSV: csvHeader() line then one row per window. */
+    /** Comma-joined column names, no newline (the CSV schema). */
+    static std::string csvColumns();
+
+    /**
+     * Deterministic CSV: a `# schema:` comment naming every column,
+     * the column header row, then one row per window.
+     */
     static std::string csvHeader();
     std::string toCsv(bool include_trailing = true) const;
 

@@ -29,6 +29,67 @@ enum class StallReason : unsigned
     NUM_REASONS,
 };
 
+/**
+ * POWER5-style cycle-accounting component.  Every simulated cycle is
+ * attributed to exactly one component (the CPI stack); the components
+ * sum bit-exactly to `Counters::cycles` per run and per sampler
+ * window.  Attribution priority when causes overlap is documented in
+ * DESIGN.md section 4.10.
+ */
+enum class CpiComponent : unsigned
+{
+    Completing,  ///< a group completed this cycle
+    Frontend,    ///< I-side: fetch-limited (taken bubbles, L1I, width)
+    BranchFlush, ///< pipeline refill after a branch misprediction
+    LsuL1,       ///< data-side: L1-resident load/store dependences
+    LsuL2,       ///< L1D miss served from L2
+    LsuMem,      ///< L2 miss served from memory
+    Fxu,         ///< fixed-point result latency or FXU saturation
+    RobFull,     ///< completion table (ROB) full at dispatch
+    Other,       ///< BRU/CRU serialization and unclassified delay
+    NUM_COMPONENTS,
+};
+
+constexpr size_t kNumCpiComponents = size_t(CpiComponent::NUM_COMPONENTS);
+
+/** Stable machine-readable key ("completing", "branch_flush", ...). */
+constexpr const char *
+cpiComponentKey(CpiComponent c)
+{
+    switch (c) {
+    case CpiComponent::Completing: return "completing";
+    case CpiComponent::Frontend: return "frontend";
+    case CpiComponent::BranchFlush: return "branch_flush";
+    case CpiComponent::LsuL1: return "lsu_l1";
+    case CpiComponent::LsuL2: return "lsu_l2";
+    case CpiComponent::LsuMem: return "lsu_mem";
+    case CpiComponent::Fxu: return "fxu";
+    case CpiComponent::RobFull: return "rob_full";
+    case CpiComponent::Other: return "other";
+    case CpiComponent::NUM_COMPONENTS: break;
+    }
+    return "?";
+}
+
+/** Human-readable label for reports ("branch flush", "L2 data", ...). */
+constexpr const char *
+cpiComponentLabel(CpiComponent c)
+{
+    switch (c) {
+    case CpiComponent::Completing: return "completing";
+    case CpiComponent::Frontend: return "frontend empty";
+    case CpiComponent::BranchFlush: return "branch flush";
+    case CpiComponent::LsuL1: return "L1D data";
+    case CpiComponent::LsuL2: return "L2 data";
+    case CpiComponent::LsuMem: return "memory data";
+    case CpiComponent::Fxu: return "FXU";
+    case CpiComponent::RobFull: return "ROB full";
+    case CpiComponent::Other: return "other";
+    case CpiComponent::NUM_COMPONENTS: break;
+    }
+    return "?";
+}
+
 /** Aggregate counters for one simulation run or interval. */
 struct Counters
 {
@@ -59,6 +120,11 @@ struct Counters
 
     // Completion-stall cycles by attributed reason.
     std::array<uint64_t, size_t(StallReason::NUM_REASONS)> stallCycles{};
+
+    // CPI stack: every cycle attributed to exactly one component.
+    // Invariant (tested): sum over components == `cycles`, bit-exact,
+    // per run and per PmuSampler window, sampled or not.
+    std::array<uint64_t, kNumCpiComponents> cpi{};
 
     // Dynamic instruction mix.
     std::array<uint64_t, size_t(isa::Op::NUM_OPS)> opCount{};
@@ -110,6 +176,33 @@ struct Counters
     {
         return cycles ? double(stallCycles[size_t(r)]) / double(cycles)
                       : 0.0;
+    }
+
+    /** Sum of all CPI-stack components (== cycles by invariant). */
+    uint64_t
+    cpiSum() const
+    {
+        uint64_t s = 0;
+        for (uint64_t v : cpi)
+            s += v;
+        return s;
+    }
+
+    /** Share of total cycles attributed to CPI component @p c. */
+    double
+    cpiShare(CpiComponent c) const
+    {
+        return cycles ? double(cpi[size_t(c)]) / double(cycles) : 0.0;
+    }
+
+    /** Data-side stall share (L1D + L2 + memory components). */
+    double
+    cpiDataShare() const
+    {
+        uint64_t d = cpi[size_t(CpiComponent::LsuL1)] +
+                     cpi[size_t(CpiComponent::LsuL2)] +
+                     cpi[size_t(CpiComponent::LsuMem)];
+        return cycles ? double(d) / double(cycles) : 0.0;
     }
 
     /** Dynamic fraction of instructions with opcode @p op. */
@@ -176,6 +269,35 @@ struct BranchSiteStats
 
 /** Ordered pc -> site stats (ordered so reports are deterministic). */
 using BranchProfile = std::map<uint64_t, BranchSiteStats>;
+
+/**
+ * Per-PC cycle attribution: non-completing cycles charged to the
+ * instruction address blamed for them (the flat stall profile).
+ * Collected only when stall profiling is enabled on the machine.
+ */
+struct StallSiteStats
+{
+    std::array<uint64_t, kNumCpiComponents> cycles{};
+
+    uint64_t
+    total() const
+    {
+        uint64_t s = 0;
+        for (uint64_t v : cycles)
+            s += v;
+        return s;
+    }
+
+    void
+    add(const StallSiteStats &o)
+    {
+        for (size_t i = 0; i < cycles.size(); ++i)
+            cycles[i] += o.cycles[i];
+    }
+};
+
+/** Ordered pc -> attributed stall cycles (deterministic reports). */
+using StallProfile = std::map<uint64_t, StallSiteStats>;
 
 /** One point of the Fig-2 style timeline. */
 struct IntervalSample

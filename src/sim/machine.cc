@@ -30,6 +30,8 @@ Counters::add(const Counters &o)
     l2Misses += o.l2Misses;
     for (size_t i = 0; i < stallCycles.size(); ++i)
         stallCycles[i] += o.stallCycles[i];
+    for (size_t i = 0; i < cpi.size(); ++i)
+        cpi[i] += o.cpi[i];
     for (size_t i = 0; i < opCount.size(); ++i)
         opCount[i] += o.opCount[i];
 }
@@ -70,6 +72,12 @@ struct Machine::TimingState
     // Commit.
     uint64_t lastCommitCycle = 0;
     unsigned committedThisCycle = 0;
+
+    // Cycle accounting: cycles 1..lastAccounted are already attributed
+    // to a CpiComponent.  Commit cycles are monotonic and cycles ==
+    // the last commit cycle, so attributing each gap as it closes
+    // keeps sum(cpi) == cycles at every instruction boundary.
+    uint64_t lastAccounted = 0;
 
     // POWER5-style completion groups (for the CPI-stack counters):
     // up to five instructions complete together; cycles without a
@@ -126,6 +134,8 @@ Machine::reset()
     exec_.invalidateDecodeCache();
     branchProfiling_ = false;
     branchProfile_.clear();
+    stallProfiling_ = false;
+    stallProfile_.clear();
     sink_ = nullptr;
     sampling_ = SamplingParams();
     timing_.reset();
@@ -461,6 +471,46 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
             reason = StallReason::Frontend;
         }
     }
+    // CPI-stack attribution (DESIGN.md section 4.10): classify this
+    // instruction's delay into the component that wins under the
+    // documented priority order, then attribute every cycle up to its
+    // commit.  Commit cycles are monotonic, so charging each newly
+    // closed gap keeps sum(cpi) == cycles bit-exactly at every
+    // instruction boundary (and hence per PmuSampler window).
+    CpiComponent comp;
+    {
+        bool late_in_backend = rc_cycle > dc || unit_contended ||
+                               dcache_miss || load_after_store;
+        if (fetch_after_redirect) {
+            comp = CpiComponent::BranchFlush;
+        } else if (dcache_miss) {
+            comp = l2_miss ? CpiComponent::LsuMem : CpiComponent::LsuL2;
+        } else if (late_in_backend) {
+            isa::Unit u = opi.unit;
+            if (u != isa::Unit::FXU && u != isa::Unit::LSU &&
+                critical_producer != isa::Unit::NONE) {
+                u = critical_producer;
+            }
+            comp = u == isa::Unit::FXU   ? CpiComponent::Fxu
+                   : u == isa::Unit::LSU ? CpiComponent::LsuL1
+                                         : CpiComponent::Other;
+        } else if (rob_limited) {
+            comp = CpiComponent::RobFull;
+        } else {
+            comp = CpiComponent::Frontend;
+        }
+    }
+    if (commit > ts.lastAccounted) {
+        uint64_t gap = commit - ts.lastAccounted - 1;
+        if (gap > 0) {
+            c.cpi[size_t(comp)] += gap;
+            if (stallProfiling_)
+                stallProfile_[info.pc].cycles[size_t(comp)] += gap;
+        }
+        ++c.cpi[size_t(CpiComponent::Completing)];
+        ts.lastAccounted = commit;
+    }
+
     // Group accounting: groups end at width or at a taken branch
     // (POWER5 group formation); the gap between group completions is
     // charged to the slowest member's reason.
@@ -503,6 +553,7 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
         rec.writebackCycle = cc;
         rec.commitCycle = commit;
         rec.stall = reason;
+        rec.component = comp;
         rec.isBranch = info.isBranch;
         rec.isCondBranch = info.isCondBranch;
         rec.taken = info.isBranch && info.taken;
@@ -656,6 +707,33 @@ Machine::runSampled(uint64_t max_instructions)
         c.l2Misses = scaleCounter(c.l2Misses, r);
         for (size_t i = 0; i < c.stallCycles.size(); ++i)
             c.stallCycles[i] = scaleCounter(c.stallCycles[i], r);
+        for (size_t i = 0; i < c.cpi.size(); ++i)
+            c.cpi[i] = scaleCounter(c.cpi[i], r);
+        // Per-component rounding breaks the bit-exact sum-to-cycles
+        // invariant by at most a handful of cycles; repair the residue
+        // deterministically against the largest components.
+        uint64_t sum = c.cpiSum();
+        if (sum != c.cycles) {
+            std::array<size_t, kNumCpiComponents> idx{};
+            for (size_t i = 0; i < idx.size(); ++i)
+                idx[i] = i;
+            std::stable_sort(idx.begin(), idx.end(),
+                             [&c](size_t a, size_t b) {
+                                 return c.cpi[a] > c.cpi[b];
+                             });
+            if (c.cycles > sum) {
+                c.cpi[idx[0]] += c.cycles - sum;
+            } else {
+                uint64_t over = sum - c.cycles;
+                for (size_t i : idx) {
+                    uint64_t cut = std::min(over, c.cpi[i]);
+                    c.cpi[i] -= cut;
+                    over -= cut;
+                    if (over == 0)
+                        break;
+                }
+            }
+        }
     }
     c.l1iAccesses = c.instructions;
     c.l1dAccesses = c.loads + c.stores;

@@ -158,6 +158,16 @@ class Machine
     const BranchProfile &branchProfile() const { return branchProfile_; }
 
     /**
+     * Collect the per-PC flat stall profile during timed runs (off by
+     * default): every non-completing cycle is charged to the
+     * instruction address blamed for it, split by CpiComponent.  The
+     * profile accumulates across run() calls and clears on reset().
+     */
+    void setStallProfiling(bool on) { stallProfiling_ = on; }
+    bool stallProfiling() const { return stallProfiling_; }
+    const StallProfile &stallProfile() const { return stallProfile_; }
+
+    /**
      * Attach an event observer (non-owning; nullptr detaches, and
      * reset() detaches).  With no sink the timing model pays one
      * null-pointer test per retired instruction and its Counters are
@@ -186,6 +196,8 @@ class Machine
 
     bool branchProfiling_ = false;
     BranchProfile branchProfile_;
+    bool stallProfiling_ = false;
+    StallProfile stallProfile_;
     TraceSink *sink_ = nullptr;
     SamplingParams sampling_;
 

@@ -51,6 +51,9 @@ struct InstRecord
     uint64_t commitCycle = 0;
 
     StallReason stall = StallReason::None; ///< attributed delay cause
+    /** CPI-stack component this instruction's commit gap is charged
+     *  to (the cycle-accounting view of `stall`). */
+    CpiComponent component = CpiComponent::Completing;
 
     bool isBranch = false;
     bool isCondBranch = false;

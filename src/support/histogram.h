@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Log2-bucketed histogram of non-negative integer samples (latencies,
+ * gap lengths, queue depths).  Bucket i covers [2^(i-1), 2^i) except
+ * bucket 0, which holds exactly the value 0; a 64-bucket table covers
+ * the full uint64_t range.  Counting is O(1) per sample and the
+ * rendered form is byte-deterministic, matching the repo's diffable-
+ * output contract.
+ */
+
+#ifndef BIOPERF5_SUPPORT_HISTOGRAM_H
+#define BIOPERF5_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace bp5::support {
+
+/** Fixed-size log2 histogram; header-only, trivially copyable. */
+class Log2Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65; ///< 0 plus one per bit
+
+    /** Bucket index of @p v: 0 for 0, otherwise 1 + floor(log2 v). */
+    static constexpr unsigned
+    bucketOf(uint64_t v)
+    {
+        unsigned b = 0;
+        while (v != 0) {
+            ++b;
+            v >>= 1;
+        }
+        return b;
+    }
+
+    /** Smallest value falling into bucket @p i. */
+    static constexpr uint64_t
+    bucketLo(unsigned i)
+    {
+        return i == 0 ? 0 : uint64_t(1) << (i - 1);
+    }
+
+    /** Largest value falling into bucket @p i (inclusive). */
+    static constexpr uint64_t
+    bucketHi(unsigned i)
+    {
+        return i == 0 ? 0
+               : i >= 64 ? ~uint64_t(0)
+                         : (uint64_t(1) << i) - 1;
+    }
+
+    void
+    add(uint64_t v, uint64_t weight = 1)
+    {
+        counts_[bucketOf(v)] += weight;
+        total_ += weight;
+        sum_ += v * weight;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    uint64_t count(unsigned bucket) const { return counts_[bucket]; }
+    uint64_t total() const { return total_; }
+    uint64_t min() const { return total_ ? min_ : 0; }
+    uint64_t max() const { return total_ ? max_ : 0; }
+    double mean() const { return total_ ? double(sum_) / double(total_) : 0.0; }
+
+    void
+    merge(const Log2Histogram &o)
+    {
+        for (unsigned i = 0; i < kBuckets; ++i)
+            counts_[i] += o.counts_[i];
+        total_ += o.total_;
+        sum_ += o.sum_;
+        if (o.total_) {
+            if (o.min_ < min_)
+                min_ = o.min_;
+            if (o.max_ > max_)
+                max_ = o.max_;
+        }
+    }
+
+    /**
+     * Upper bound of the bucket holding the p-th percentile sample
+     * (@p p in [0, 100]); 0 on an empty histogram.  Bucket-granular by
+     * construction — exact within a factor of two.
+     */
+    uint64_t
+    percentile(double p) const
+    {
+        if (total_ == 0)
+            return 0;
+        double rank = p / 100.0 * double(total_);
+        uint64_t seen = 0;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            seen += counts_[i];
+            if (double(seen) >= rank && counts_[i] != 0)
+                return bucketHi(i);
+        }
+        return bucketHi(kBuckets - 1);
+    }
+
+    /**
+     * Aligned text rendering: one `[lo, hi] count |bar|` line per
+     * populated bucket, bars scaled to @p barWidth characters.
+     */
+    std::string
+    toText(unsigned barWidth = 40) const
+    {
+        std::string out;
+        uint64_t peak = 0;
+        for (uint64_t c : counts_)
+            if (c > peak)
+                peak = c;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            if (counts_[i] == 0)
+                continue;
+            char line[96];
+            std::snprintf(line, sizeof line, "  [%10llu, %10llu] %10llu  ",
+                          (unsigned long long)bucketLo(i),
+                          (unsigned long long)bucketHi(i),
+                          (unsigned long long)counts_[i]);
+            out += line;
+            unsigned bar = peak ? unsigned((counts_[i] * barWidth + peak - 1) /
+                                           peak)
+                                : 0;
+            out.append(bar, '#');
+            out += '\n';
+        }
+        return out;
+    }
+
+  private:
+    std::array<uint64_t, kBuckets> counts_{};
+    uint64_t total_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~uint64_t(0);
+    uint64_t max_ = 0;
+};
+
+} // namespace bp5::support
+
+#endif // BIOPERF5_SUPPORT_HISTOGRAM_H

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -274,8 +275,88 @@ TEST(PmuSampler, CsvRowsMatchWindowCount)
     size_t lines = 0;
     for (char c : csv)
         lines += c == '\n';
-    EXPECT_EQ(lines, sampler.intervals(true).size() + 1); // + header
-    EXPECT_EQ(csv.compare(0, 11, "start_cycle"), 0);
+    // + schema comment + column header
+    EXPECT_EQ(lines, sampler.intervals(true).size() + 2);
+    EXPECT_EQ(csv.compare(0, 10, "# schema: "), 0);
+    EXPECT_NE(csv.find("\nstart_cycle"), std::string::npos);
+}
+
+namespace {
+
+/** Split one CSV line into cells (no quoting in our dialect). */
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            cells.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cells.push_back(cur);
+    return cells;
+}
+
+} // namespace
+
+TEST(PmuSampler, CsvRoundTripsThroughParser)
+{
+    masm::Program p = loopProgram();
+    obs::PmuSampler sampler(500);
+    sim::Counters total = runWithSink(p, &sampler).counters;
+
+    std::string csv = sampler.toCsv(true);
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : csv) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    ASSERT_GE(lines.size(), 3u);
+
+    // The schema comment names exactly the columns of the header row.
+    ASSERT_EQ(lines[0].compare(0, 10, "# schema: "), 0);
+    EXPECT_EQ(lines[0].substr(10), lines[1]);
+    EXPECT_EQ(lines[1], obs::PmuSampler::csvColumns());
+
+    std::vector<std::string> cols = splitCsv(lines[1]);
+    auto colIndex = [&cols](const std::string &name) {
+        for (size_t i = 0; i < cols.size(); ++i)
+            if (cols[i] == name)
+                return i;
+        ADD_FAILURE() << "missing column " << name;
+        return size_t(0);
+    };
+
+    // Parse every data row and re-sum the integer columns: the CSV
+    // must reproduce the machine's end-of-run counters exactly.
+    uint64_t cycles = 0, instructions = 0, cpiSum = 0;
+    size_t cyclesCol = colIndex("cycles");
+    size_t instCol = colIndex("instructions");
+    std::vector<size_t> cpiCols;
+    for (size_t i = 0; i < sim::kNumCpiComponents; ++i)
+        cpiCols.push_back(colIndex(
+            std::string("cpi_") +
+            sim::cpiComponentKey(sim::CpiComponent(i))));
+    for (size_t i = 2; i < lines.size(); ++i) {
+        std::vector<std::string> cells = splitCsv(lines[i]);
+        ASSERT_EQ(cells.size(), cols.size()) << lines[i];
+        cycles += std::stoull(cells[cyclesCol]);
+        instructions += std::stoull(cells[instCol]);
+        for (size_t ci : cpiCols)
+            cpiSum += std::stoull(cells[ci]);
+    }
+    EXPECT_EQ(cycles, total.cycles);
+    EXPECT_EQ(instructions, total.instructions);
+    EXPECT_EQ(cpiSum, total.cycles); // windowed CPI stacks sum exactly
 }
 
 // ---------------------------------------------------------------------
@@ -574,6 +655,51 @@ TEST(Json, RejectsMalformedInput)
     EXPECT_FALSE(obs::parseJson("\"unterminated", v, err));
     EXPECT_FALSE(obs::parseJson("", v, err));
     EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, NumberGrammarAcceptsRfc8259Forms)
+{
+    obs::JsonValue v;
+    std::string err;
+
+    ASSERT_TRUE(obs::parseJson("1e-3", v, err)) << err;
+    EXPECT_DOUBLE_EQ(v.number, 1e-3);
+    ASSERT_TRUE(obs::parseJson("2.5E+2", v, err)) << err;
+    EXPECT_DOUBLE_EQ(v.number, 250.0);
+    ASSERT_TRUE(obs::parseJson("-1.25e1", v, err)) << err;
+    EXPECT_DOUBLE_EQ(v.number, -12.5);
+    ASSERT_TRUE(obs::parseJson("0.5", v, err)) << err;
+    EXPECT_DOUBLE_EQ(v.number, 0.5);
+    ASSERT_TRUE(obs::parseJson("0e0", v, err)) << err;
+    EXPECT_DOUBLE_EQ(v.number, 0.0);
+
+    // Negative zero survives the round trip (IEEE sign bit kept).
+    ASSERT_TRUE(obs::parseJson("-0", v, err)) << err;
+    EXPECT_EQ(v.number, 0.0);
+    EXPECT_TRUE(std::signbit(v.number));
+    ASSERT_TRUE(obs::parseJson("-0.0", v, err)) << err;
+    EXPECT_TRUE(std::signbit(v.number));
+}
+
+TEST(Json, NumberGrammarRejectsNonRfc8259Forms)
+{
+    obs::JsonValue v;
+    std::string err;
+    // RFC 8259: no leading '+', no bare '.', no leading zeros, and an
+    // exponent marker must be followed by at least one digit.
+    EXPECT_FALSE(obs::parseJson("+1", v, err));
+    EXPECT_FALSE(obs::parseJson(".5", v, err));
+    EXPECT_FALSE(obs::parseJson("5.", v, err));
+    EXPECT_FALSE(obs::parseJson("01", v, err));
+    EXPECT_FALSE(obs::parseJson("-01", v, err));
+    EXPECT_FALSE(obs::parseJson("1e", v, err));
+    EXPECT_FALSE(obs::parseJson("1e+", v, err));
+    EXPECT_FALSE(obs::parseJson("1.e3", v, err));
+    EXPECT_FALSE(obs::parseJson("-", v, err));
+    EXPECT_FALSE(obs::parseJson("--1", v, err));
+    // ...and none of these may sneak through inside a container.
+    EXPECT_FALSE(obs::parseJson("[01]", v, err));
+    EXPECT_FALSE(obs::parseJson("{\"k\": 1e}", v, err));
 }
 
 // ---------------------------------------------------------------------

@@ -68,6 +68,7 @@ archOnly(sim::Counters c)
     c.btacPredictions = c.btacCorrect = c.btacMispredicts = 0;
     c.l1dMisses = c.l1iMisses = c.l2Misses = 0;
     c.stallCycles.fill(0);
+    c.cpi.fill(0);
     return c;
 }
 

@@ -21,6 +21,8 @@
  *   --interval=N     PMU sampling interval in cycles (default 10000)
  *   --sites          per-branch-site series, joined with the static
  *                    branch classes of the binary (table output)
+ *   --stalls         CPI stack, per-PC stall attribution joined with
+ *                    the static loop analysis, latency histograms
  *   --budget=N       instruction budget (default 2000000)
  *   --seed=N         input-generation seed (default 42)
  *   --max-events=N   event cap for the perfetto/konata writers
@@ -30,6 +32,7 @@
  * Exit status: 0 on success, 2 on usage errors.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -40,9 +43,11 @@
 #include <vector>
 
 #include "analysis/branch_class.h"
+#include "analysis/loops.h"
 #include "bio/generator.h"
 #include "bio/parsimony.h"
 #include "kernels/kernels.h"
+#include "obs/cpi_stack.h"
 #include "obs/konata_sink.h"
 #include "obs/manifest.h"
 #include "obs/perfetto_sink.h"
@@ -71,6 +76,7 @@ struct Options
     std::string pmuCsv;
     std::string manifest;
     bool sites = false;
+    bool stalls = false;
     bool json = false;
 };
 
@@ -81,7 +87,8 @@ usage()
         "usage: bp5-trace (--kernel=NAME | --app=NAME) [--variant=NAME]\n"
         "                 [--machine=baseline|btac|fxu3|fxu4|enhanced]\n"
         "                 [--klass=A|B|C] [--budget=N] [--seed=N]\n"
-        "                 [--interval=N] [--sites] [--max-events=N]\n"
+        "                 [--interval=N] [--sites] [--stalls]\n"
+        "                 [--max-events=N]\n"
         "                 [--perfetto=PATH] [--konata=PATH]\n"
         "                 [--pmu-csv=PATH] [--manifest=PATH] [--json]\n",
         stderr);
@@ -221,6 +228,92 @@ runKernel(kernels::KernelMachine &km, const Options &opts)
     return invocations;
 }
 
+/**
+ * Name the innermost static loop containing @p pc ("loop@0xADDR",
+ * with the recovered trip count when the loop is counted), or "-".
+ */
+std::string
+loopLabelAt(const analysis::Cfg &cfg, const analysis::BinLoopForest &loops,
+            uint64_t pc)
+{
+    const analysis::BasicBlock *bb = cfg.blockAt(pc);
+    if (bb == nullptr)
+        return "-";
+    const analysis::BinLoop *best = nullptr;
+    for (const analysis::BinLoop &l : loops.loops) {
+        if (l.contains(bb->id) &&
+            (best == nullptr || l.blocks.size() < best->blocks.size()))
+            best = &l;
+    }
+    if (best == nullptr)
+        return "-";
+    std::string out = strprintf(
+        "loop@0x%llx",
+        (unsigned long long)cfg.blocks[size_t(best->header)].start);
+    if (best->counted && best->tripCount >= 0)
+        out += strprintf(" x%lld", (long long)best->tripCount);
+    return out;
+}
+
+/**
+ * Flat stall profile joined with the static loop analysis: the @p top
+ * hottest pcs by attributed stall cycles, one row each.
+ */
+std::vector<support::ResultRow>
+stallProfileRows(const sim::StallProfile &profile,
+                 const analysis::Cfg &cfg,
+                 const analysis::BinLoopForest &loops, size_t top)
+{
+    uint64_t allStalls = 0;
+    for (const auto &[pc, site] : profile)
+        allStalls += site.total();
+
+    std::vector<std::pair<uint64_t, const sim::StallSiteStats *>> order;
+    for (const auto &[pc, site] : profile)
+        order.emplace_back(pc, &site);
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second->total() != b.second->total())
+                      return a.second->total() > b.second->total();
+                  return a.first < b.first;
+              });
+    if (order.size() > top)
+        order.resize(top);
+
+    std::vector<support::ResultRow> rows;
+    for (const auto &[pc, site] : order) {
+        size_t topComp = 0;
+        for (size_t i = 1; i < site->cycles.size(); ++i)
+            if (site->cycles[i] > site->cycles[topComp])
+                topComp = i;
+        std::string disasm = "?";
+        if (const analysis::BasicBlock *bb = cfg.blockAt(pc)) {
+            for (const analysis::CfgInst &ci : bb->insts)
+                if (ci.pc == pc)
+                    disasm = isa::disassemble(ci.inst, ci.pc);
+        }
+        support::ResultRow row;
+        row.set("pc", strprintf("0x%llx", (unsigned long long)pc))
+            .set("inst", disasm)
+            .set("loop", loopLabelAt(cfg, loops, pc))
+            .set("stall_cycles", site->total())
+            .setPct("of_all_stalls", allStalls ? double(site->total()) /
+                                                     double(allStalls)
+                                               : 0.0)
+            .set("top_component",
+                 sim::cpiComponentKey(sim::CpiComponent(topComp)))
+            .set("flush",
+                 site->cycles[size_t(sim::CpiComponent::BranchFlush)])
+            .set("data",
+                 site->cycles[size_t(sim::CpiComponent::LsuL1)] +
+                     site->cycles[size_t(sim::CpiComponent::LsuL2)] +
+                     site->cycles[size_t(sim::CpiComponent::LsuMem)])
+            .set("fxu", site->cycles[size_t(sim::CpiComponent::Fxu)]);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
 /** Aggregate the sampler's per-window site series into one profile. */
 sim::BranchProfile
 aggregateSites(const obs::PmuSampler &sampler)
@@ -273,6 +366,8 @@ main(int argc, char **argv)
             opts.manifest = v;
         } else if (a == "--sites") {
             opts.sites = true;
+        } else if (a == "--stalls") {
+            opts.stalls = true;
         } else if (a == "--json") {
             opts.json = true;
         } else if (a == "--help" || a == "-h") {
@@ -332,14 +427,19 @@ main(int argc, char **argv)
     km = std::make_unique<kernels::KernelMachine>(kind, variant, mc);
     kmp = km.get();
     kmp->setSampleInterval(opts.interval, opts.sites);
+    if (opts.stalls)
+        kmp->setStallProfiling(true);
 
     obs::PerfettoSink perfetto(8, opts.maxEvents);
     obs::KonataSink konata(opts.maxEvents);
+    obs::CpiStackSink cpiSink;
     obs::TraceMux mux;
     if (!opts.perfetto.empty())
         mux.add(&perfetto);
     if (!opts.konata.empty())
         mux.add(&konata);
+    if (opts.stalls)
+        mux.add(&cpiSink);
     if (!mux.empty())
         kmp->setTraceSink(&mux);
 
@@ -429,6 +529,36 @@ main(int argc, char **argv)
         } else {
             std::fputs(support::emitText(classRows, t1).c_str(), stdout);
             std::fputs(support::emitText(siteRows, t2).c_str(), stdout);
+        }
+    }
+
+    if (opts.stalls) {
+        // CPI stack plus the flat per-PC attribution, joined with the
+        // static loop analysis so the hot loop gets named.
+        analysis::Cfg cfg = analysis::buildCfg(
+            analysis::CodeImage::fromProgram(
+                kmp->compiled().program(kernels::kCodeBase)));
+        analysis::BinLoopForest loops = analysis::findCfgLoops(cfg);
+        std::vector<support::ResultRow> stallRows =
+            stallProfileRows(kmp->stallProfile(), cfg, loops, 20);
+        std::string title = "stall profile: " + workloadName;
+        if (opts.json) {
+            std::fputs(support::emitJsonLine(stallRows, title).c_str(),
+                       stdout);
+        } else {
+            obs::CpiStack stack =
+                obs::CpiStack::fromCounters(kmp->totals());
+            std::printf("\nCPI stack: %s\n", workloadName.c_str());
+            std::fputs(obs::renderCpiStack(stack).c_str(), stdout);
+            std::fputs(support::emitText(stallRows, title).c_str(),
+                       stdout);
+            const support::Log2Histogram &lat = cpiSink.latency();
+            std::printf("\nfetch->commit latency (cycles): "
+                        "mean %.1f, p50 <=%llu, p95 <=%llu\n",
+                        lat.mean(),
+                        (unsigned long long)lat.percentile(50),
+                        (unsigned long long)lat.percentile(95));
+            std::fputs(lat.toText().c_str(), stdout);
         }
     }
     return 0;

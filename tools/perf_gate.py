@@ -31,7 +31,14 @@ REQUIRED_KEYS = ("workload", "mode", "sim_mips")
 
 
 def load_rows(path):
-    """Return {(workload, mode): row} from a sim-speed JSON document."""
+    """Return {(workload, mode): row} from a sim-speed JSON document.
+
+    Tolerant by design: rows may carry any number of unknown keys
+    (newer benches append columns — e.g. the cpi_* cycle-accounting
+    cells — and the gate must keep reading older and newer reports
+    alike), and unknown top-level sections are ignored.  Only the
+    REQUIRED_KEYS themselves are validated.
+    """
     with open(path) as f:
         doc = json.load(f)
     rows = doc.get("rows")
@@ -39,6 +46,8 @@ def load_rows(path):
         raise ValueError(f"{path}: no 'rows' array")
     out = {}
     for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise ValueError(f"{path}: row {i} is not an object")
         missing = [k for k in REQUIRED_KEYS if k not in row]
         if missing:
             raise ValueError(

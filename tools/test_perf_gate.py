@@ -74,6 +74,29 @@ class PerfGateTest(unittest.TestCase):
         self.assertEqual(r.returncode, 1)
         self.assertIn("missing point", r.stderr)
 
+    def test_unknown_keys_and_sections_are_tolerated(self):
+        # Newer benches append columns (e.g. cpi_* cycle-accounting
+        # cells) and extra top-level sections; the gate must ignore
+        # what it does not know about in either document.
+        base = rows_doc(BASE_POINTS)
+        base["cpi_report"] = {"anything": [1, 2, 3]}
+        new = rows_doc(BASE_POINTS)
+        for row in new["rows"]:
+            row["cpi_completing"] = 1234
+            row["cpi_branch_flush"] = 99
+            row["future_column"] = "text"
+        r = run_gate(base, new)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("perf_gate OK", r.stdout)
+
+    def test_non_object_row_is_readable_schema_error(self):
+        doc = rows_doc(BASE_POINTS)
+        doc["rows"].append(42)
+        r = run_gate(doc, rows_doc(BASE_POINTS))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("is not an object", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
     def test_row_without_sim_mips_is_schema_error(self):
         doc = rows_doc(BASE_POINTS)
         del doc["rows"][0]["sim_mips"]

@@ -80,9 +80,38 @@ main(int argc, char **argv)
 
     constexpr double kIpcTolPct = 10.0;  // |IPC error|, percent
     constexpr double kMispredTol = 1.0;  // mispredicts per 100 insts
+    // LSQ/prefetch event-rate tolerance: extrapolated forwards,
+    // squashes and prefetch hits per 100 instructions may deviate from
+    // full detail by this much.  lsqFull* are deliberately excluded:
+    // they are occupancy-style counters that cluster in kernel
+    // prologues, exactly where the per-invocation detail window sits,
+    // so uniform extrapolation over-weights them by design.
+    constexpr double kLsqRateTol = 0.75;
     const struct { uint64_t detail, skip; } settings[] = {
         {1'000, 19'000}, // 5% detail, short windows
         {2'000, 38'000}, // 5% detail, the sim_speed_bench setting
+    };
+    const struct { const char *name; sim::MachineConfig mc; } machines[] = {
+        {"classic", sim::MachineConfig()},
+        {"lsq+stride",
+         sim::MachineConfig::power5WithLsq(
+             16, 16, sim::PrefetchParams::Kind::Stride)},
+    };
+    // Events per 100 instructions, for rate-error comparison.
+    auto per100 = [](uint64_t events, uint64_t insts) {
+        return insts ? 100.0 * double(events) / double(insts) : 0.0;
+    };
+    auto lsqRateErr = [&](const sim::Counters &s, const sim::Counters &f) {
+        double err = 0.0;
+        const uint64_t se[] = {s.storeForwards, s.disambigFlushes,
+                               s.prefetchHits};
+        const uint64_t fe[] = {f.storeForwards, f.disambigFlushes,
+                               f.prefetchHits};
+        for (size_t i = 0; i < std::size(se); ++i)
+            err = std::max(err,
+                           std::fabs(per100(se[i], s.instructions) -
+                                     per100(fe[i], f.instructions)));
+        return err;
     };
     int violations = 0;
     std::vector<driver::ResultRow> vrows;
@@ -92,47 +121,56 @@ main(int argc, char **argv)
             std::min<uint64_t>(opts.budget, 1'000'000);
         workloads::Workload w(wc);
 
-        kernels::KernelMachine full(appKernel(kApps[a]),
-                                    mpc::Variant::Baseline,
-                                    sim::MachineConfig());
-        w.simulate(full);
-        double fullIpc = full.totals().ipc();
-        double fullMr = 100.0 * double(full.totals().mispredDirection) /
-                        double(full.totals().instructions);
+        for (const auto &machine : machines) {
+            kernels::KernelMachine full(appKernel(kApps[a]),
+                                        mpc::Variant::Baseline,
+                                        machine.mc);
+            w.simulate(full);
+            double fullIpc = full.totals().ipc();
+            double fullMr =
+                100.0 * double(full.totals().mispredDirection) /
+                double(full.totals().instructions);
 
-        for (auto s : settings) {
-            kernels::KernelMachine km(appKernel(kApps[a]),
-                                      mpc::Variant::Baseline,
-                                      sim::MachineConfig());
-            km.setSampling({s.detail, s.skip, true});
-            w.simulate(km);
-            double ipc = km.totals().ipc();
-            double mr = 100.0 * double(km.totals().mispredDirection) /
-                        double(km.totals().instructions);
-            double ipcErrPct = 100.0 * std::fabs(ipc - fullIpc) / fullIpc;
-            double mrErr = std::fabs(mr - fullMr);
-            bool archExact =
-                km.totals().instructions == full.totals().instructions &&
-                km.totals().branches == full.totals().branches &&
-                km.totals().loads == full.totals().loads &&
-                km.totals().stores == full.totals().stores;
-            bool ok = archExact && ipcErrPct < kIpcTolPct &&
-                      mrErr < kMispredTol;
-            if (!ok)
-                ++violations;
+            for (auto s : settings) {
+                kernels::KernelMachine km(appKernel(kApps[a]),
+                                          mpc::Variant::Baseline,
+                                          machine.mc);
+                km.setSampling({s.detail, s.skip, true});
+                w.simulate(km);
+                double ipc = km.totals().ipc();
+                double mr =
+                    100.0 * double(km.totals().mispredDirection) /
+                    double(km.totals().instructions);
+                double ipcErrPct =
+                    100.0 * std::fabs(ipc - fullIpc) / fullIpc;
+                double mrErr = std::fabs(mr - fullMr);
+                double lsqErr = lsqRateErr(km.totals(), full.totals());
+                bool archExact =
+                    km.totals().instructions ==
+                        full.totals().instructions &&
+                    km.totals().branches == full.totals().branches &&
+                    km.totals().loads == full.totals().loads &&
+                    km.totals().stores == full.totals().stores;
+                bool ok = archExact && ipcErrPct < kIpcTolPct &&
+                          mrErr < kMispredTol && lsqErr < kLsqRateTol;
+                if (!ok)
+                    ++violations;
 
-            driver::ResultRow row;
-            row.set("app", appName(kApps[a]))
-                .set("window",
-                     std::to_string(s.detail / 1000) + "k/" +
-                         std::to_string(s.skip / 1000) + "k")
-                .set("full IPC", fullIpc)
-                .set("sampled IPC", ipc)
-                .setPct("IPC err", ipcErrPct / 100.0)
-                .set("mispred err/100", mrErr)
-                .set("arch exact", archExact ? "yes" : "NO")
-                .set("ok", ok ? "yes" : "NO");
-            vrows.push_back(row);
+                driver::ResultRow row;
+                row.set("app", appName(kApps[a]))
+                    .set("memsys", machine.name)
+                    .set("window",
+                         std::to_string(s.detail / 1000) + "k/" +
+                             std::to_string(s.skip / 1000) + "k")
+                    .set("full IPC", fullIpc)
+                    .set("sampled IPC", ipc)
+                    .setPct("IPC err", ipcErrPct / 100.0)
+                    .set("mispred err/100", mrErr)
+                    .set("lsq err/100", lsqErr)
+                    .set("arch exact", archExact ? "yes" : "NO")
+                    .set("ok", ok ? "yes" : "NO");
+                vrows.push_back(row);
+            }
         }
     }
     opts.emit(vrows, "sampled-timing error:");
@@ -140,13 +178,15 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: %d sampled-timing point(s) exceed the "
                      "error bounds (IPC < %.0f%%, mispredicts < %.1f "
+                     "per 100 instructions, lsq/prefetch events < %.1f "
                      "per 100 instructions, arch counters exact)\n",
-                     violations, kIpcTolPct, kMispredTol);
+                     violations, kIpcTolPct, kMispredTol, kLsqRateTol);
         return 1;
     }
-    opts.note("\nFinding: sampled timing stays within %.0f%% IPC error\n"
-                "and %.1f mispredicts/100-instructions of full detail,\n"
-                "with architectural counters exact.\n",
-                kIpcTolPct, kMispredTol);
+    opts.note("\nFinding: sampled timing stays within %.0f%% IPC error,\n"
+                "%.1f mispredicts and %.1f LSQ/prefetch events per 100\n"
+                "instructions of full detail, on the classic and the\n"
+                "LSQ memory system, with architectural counters exact.\n",
+                kIpcTolPct, kMispredTol, kLsqRateTol);
     return 0;
 }

@@ -278,7 +278,7 @@ inline void
 addCpiColumns(driver::ResultRow &row, const sim::Counters &c)
 {
     row.setPct("done/cyc", c.cpiShare(sim::CpiComponent::Completing))
-        .setPct("flush/cyc", c.cpiShare(sim::CpiComponent::BranchFlush))
+        .setPct("flush/cyc", c.cpiFlushShare())
         .setPct("data/cyc", c.cpiDataShare())
         .setPct("fxu/cyc", c.cpiShare(sim::CpiComponent::Fxu))
         .setPct("front/cyc", c.cpiShare(sim::CpiComponent::Frontend));

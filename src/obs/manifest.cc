@@ -19,7 +19,18 @@ addMachineCells(support::ResultRow &row, const sim::MachineConfig &mc)
         .set("btac", mc.btacEnabled ? "on" : "off")
         .set("taken_penalty", mc.effectiveTakenPenalty())
         .set("mispredict_penalty", mc.mispredictPenalty)
-        .set("mem_latency", mc.memLatency);
+        .set("mem_latency", mc.memLatency)
+        .set("memsys", sim::memSysModeKey(mc.memsys.mode));
+    if (!mc.memsys.classic()) {
+        row.set("lsq_loads", mc.memsys.lsq.loads)
+            .set("lsq_stores", mc.memsys.lsq.stores);
+    }
+    if (mc.memsys.l1dPrefetch.enabled())
+        row.set("l1d_prefetch",
+                sim::prefetchKindKey(mc.memsys.l1dPrefetch.kind));
+    if (mc.memsys.l2Prefetch.enabled())
+        row.set("l2_prefetch",
+                sim::prefetchKindKey(mc.memsys.l2Prefetch.kind));
 }
 
 void
@@ -33,7 +44,13 @@ addCounterCells(support::ResultRow &row, const sim::Counters &c)
         .setPct("l1d_miss_rate", c.l1dMissRate())
         .setPct("stall_fxu", c.stallShare(sim::StallReason::FXU))
         .setPct("stall_lsu", c.stallShare(sim::StallReason::LSU))
-        .setPct("stall_frontend", c.stallShare(sim::StallReason::Frontend));
+        .setPct("stall_frontend", c.stallShare(sim::StallReason::Frontend))
+        .set("store_forwards", c.storeForwards)
+        .set("disambig_flushes", c.disambigFlushes)
+        .set("lsq_full_loads", c.lsqFullLoads)
+        .set("lsq_full_stores", c.lsqFullStores)
+        .set("prefetch_issued", c.prefetchIssued)
+        .set("prefetch_hits", c.prefetchHits);
     addCpiCells(row, c);
 }
 

@@ -29,6 +29,7 @@ flushCauseName(sim::FlushRecord::Cause c)
     switch (c) {
     case sim::FlushRecord::Cause::Direction: return "direction";
     case sim::FlushRecord::Cause::Target: return "target";
+    case sim::FlushRecord::Cause::Disambig: return "disambig";
     default: return "btac-steer";
     }
 }
@@ -157,6 +158,19 @@ PerfettoSink::onRunEnd(const sim::Counters &final)
 void
 PerfettoSink::onInstruction(const sim::InstRecord &r, const sim::Counters &)
 {
+    // LSQ-occupancy counter track: one point per memory op, emitted
+    // only when the machine models finite queues (classic-mode records
+    // carry zero occupancy and produce no track).
+    if ((r.isLoad || r.isStore) && (r.lsqLoadOcc || r.lsqStoreOcc) &&
+        admit()) {
+        append(strprintf(
+            "{\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+            "\"name\":\"lsq occupancy\",\"args\":{\"loads\":%u,"
+            "\"stores\":%u}}",
+            lanes_ + kCounterLaneOffset,
+            (unsigned long long)global(r.dispatchCycle), r.lsqLoadOcc,
+            r.lsqStoreOcc));
+    }
     if (!admit())
         return;
     uint64_t ts = global(r.fetchCycle);
@@ -167,7 +181,7 @@ PerfettoSink::onInstruction(const sim::InstRecord &r, const sim::Counters &)
         "{\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%llu,\"dur\":%llu,"
         "\"cat\":\"inst\",\"name\":\"%s\",\"args\":{\"pc\":\"0x%llx\","
         "\"seq\":%llu,\"dispatch\":%llu,\"issue\":%llu,"
-        "\"writeback\":%llu,\"stall\":\"%s\"%s%s%s}}",
+        "\"writeback\":%llu,\"stall\":\"%s\"%s%s%s%s%s}}",
         (unsigned long long)(r.seq % lanes_), (unsigned long long)ts,
         (unsigned long long)dur, name.c_str(), (unsigned long long)r.pc,
         (unsigned long long)r.seq,
@@ -177,7 +191,9 @@ PerfettoSink::onInstruction(const sim::InstRecord &r, const sim::Counters &)
         stallReasonName(r.stall),
         r.mispredicted ? ",\"mispredicted\":true" : "",
         r.l1dMiss ? ",\"l1d_miss\":true" : "",
-        r.l2Miss ? ",\"l2_miss\":true" : ""));
+        r.l2Miss ? ",\"l2_miss\":true" : "",
+        r.forwarded ? ",\"forwarded\":true" : "",
+        r.disambigFlush ? ",\"disambig_flush\":true" : ""));
 }
 
 void

@@ -29,6 +29,12 @@ sub(const sim::Counters &a, const sim::Counters &b)
     d.l1iAccesses = a.l1iAccesses - b.l1iAccesses;
     d.l1iMisses = a.l1iMisses - b.l1iMisses;
     d.l2Misses = a.l2Misses - b.l2Misses;
+    d.storeForwards = a.storeForwards - b.storeForwards;
+    d.disambigFlushes = a.disambigFlushes - b.disambigFlushes;
+    d.lsqFullLoads = a.lsqFullLoads - b.lsqFullLoads;
+    d.lsqFullStores = a.lsqFullStores - b.lsqFullStores;
+    d.prefetchIssued = a.prefetchIssued - b.prefetchIssued;
+    d.prefetchHits = a.prefetchHits - b.prefetchHits;
     for (size_t i = 0; i < d.stallCycles.size(); ++i)
         d.stallCycles[i] = a.stallCycles[i] - b.stallCycles[i];
     for (size_t i = 0; i < d.cpi.size(); ++i)
@@ -136,6 +142,8 @@ PmuSampler::csvColumns()
         "mispred_target,mispredict_rate,taken_bubbles,"
         "loads,stores,l1d_accesses,l1d_misses,l1d_miss_rate,"
         "l1i_accesses,l1i_misses,l2_misses,"
+        "store_forwards,disambig_flushes,lsq_full_loads,"
+        "lsq_full_stores,prefetch_issued,prefetch_hits,"
         "stall_frontend,stall_branch,stall_fxu,stall_lsu,stall_other";
     for (size_t i = 0; i < sim::kNumCpiComponents; ++i) {
         cols += ",cpi_";
@@ -164,6 +172,7 @@ PmuSampler::toCsv(bool include_trailing) const
             "%llu,%llu,%llu,%llu,%.6f,"
             "%llu,%llu,%llu,%llu,%llu,%.6f,%llu,"
             "%llu,%llu,%llu,%llu,%.6f,%llu,%llu,%llu,"
+            "%llu,%llu,%llu,%llu,%llu,%llu,"
             "%llu,%llu,%llu,%llu,%llu",
             (unsigned long long)w.startCycle,
             (unsigned long long)w.endCycle,
@@ -181,6 +190,12 @@ PmuSampler::toCsv(bool include_trailing) const
             (unsigned long long)d.l1iAccesses,
             (unsigned long long)d.l1iMisses,
             (unsigned long long)d.l2Misses,
+            (unsigned long long)d.storeForwards,
+            (unsigned long long)d.disambigFlushes,
+            (unsigned long long)d.lsqFullLoads,
+            (unsigned long long)d.lsqFullStores,
+            (unsigned long long)d.prefetchIssued,
+            (unsigned long long)d.prefetchHits,
             (unsigned long long)d.stallCycles[size_t(
                 sim::StallReason::Frontend)],
             (unsigned long long)d.stallCycles[size_t(

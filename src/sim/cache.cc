@@ -31,7 +31,7 @@ Cache::tagOf(uint64_t addr) const
 }
 
 unsigned
-Cache::access(uint64_t addr, bool is_write, bool is_writeback)
+Cache::access(uint64_t addr, bool is_write, bool is_writeback, uint64_t now)
 {
     ++stats_.accesses;
     if (is_write)
@@ -47,7 +47,17 @@ Cache::access(uint64_t addr, bool is_write, bool is_writeback)
             l.lruStamp = ++stamp_;
             if (is_write)
                 l.dirty = true;
-            return params_.hitLatency;
+            unsigned extra = 0;
+            if (l.prefetched) {
+                // First demand touch of a prefetched line: pay the
+                // remaining in-flight cycles if the fill has not
+                // arrived yet (partial hit).
+                ++stats_.prefetchHits;
+                l.prefetched = false;
+                if (l.readyCycle > now)
+                    extra = unsigned(l.readyCycle - now);
+            }
+            return params_.hitLatency + extra;
         }
     }
 
@@ -55,6 +65,17 @@ Cache::access(uint64_t addr, bool is_write, bool is_writeback)
     ++stats_.misses;
     unsigned below = next_ ? next_->access(addr, false) : memLatency_;
 
+    Line &v = allocate(base, tag);
+    v.dirty = is_write;
+    return params_.hitLatency + below;
+}
+
+/** Pick the LRU victim in the set at @p base, write it back if dirty,
+ *  and re-tag it.  Returns the (valid, clean, demand-stamped) line;
+ *  the caller sets dirty/prefetched as appropriate. */
+Cache::Line &
+Cache::allocate(uint64_t base, uint64_t tag)
+{
     unsigned victim = 0;
     uint64_t oldest = UINT64_MAX;
     for (unsigned w = 0; w < params_.assoc; ++w) {
@@ -69,6 +90,8 @@ Cache::access(uint64_t addr, bool is_write, bool is_writeback)
         }
     }
     Line &v = lines_[base + victim];
+    if (v.valid && v.prefetched)
+        ++stats_.prefetchUseless; // evicted before any demand touch
     if (v.valid && v.dirty) {
         ++stats_.writebacks;
         // Present the victim to the next level so its write traffic is
@@ -82,10 +105,32 @@ Cache::access(uint64_t addr, bool is_write, bool is_writeback)
         }
     }
     v.valid = true;
-    v.dirty = is_write;
+    v.dirty = false;
+    v.prefetched = false;
+    v.readyCycle = 0;
     v.tag = tag;
     v.lruStamp = ++stamp_;
-    return params_.hitLatency + below;
+    return v;
+}
+
+bool
+Cache::prefetchFill(uint64_t addr, uint64_t now)
+{
+    uint64_t base = lineIndex(addr);
+    uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &l = lines_[base + w];
+        if (l.valid && l.tag == tag)
+            return false; // already resident (or already in flight)
+    }
+    ++stats_.prefetchIssued;
+    // The fill reads the level below as a demand access there (a real
+    // prefetch occupies the lower levels the same way).
+    unsigned below = next_ ? next_->access(addr, false) : memLatency_;
+    Line &v = allocate(base, tag);
+    v.prefetched = true;
+    v.readyCycle = now + params_.hitLatency + below;
+    return true;
 }
 
 bool

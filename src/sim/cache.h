@@ -38,6 +38,11 @@ struct CacheStats
     uint64_t writebacks = 0; ///< dirty lines evicted from this level
     uint64_t writebacksIn = 0; ///< writebacks received from the level above
 
+    // Prefetch outcomes (zero unless a Prefetcher targets this level).
+    uint64_t prefetchIssued = 0;  ///< prefetch fills allocated
+    uint64_t prefetchHits = 0;    ///< demand hits on a prefetched line
+    uint64_t prefetchUseless = 0; ///< prefetched lines evicted untouched
+
     double missRate() const
     {
         return accesses ? double(misses) / double(accesses) : 0.0;
@@ -51,9 +56,12 @@ class Cache
     /**
      * @param params geometry/latency
      * @param next next level, or nullptr for "memory is next"
-     * @param memLatency latency charged when the last level misses
+     * @param memLatency latency charged when the last level misses.
+     *        No default: the knob lives in MachineConfig::memLatency
+     *        (230 on the baseline POWER5) so it is sweepable in one
+     *        place.
      */
-    Cache(const CacheParams &params, Cache *next, unsigned memLatency = 230);
+    Cache(const CacheParams &params, Cache *next, unsigned memLatency);
 
     /**
      * Access @p addr (read or write).  Returns the total added latency
@@ -61,10 +69,26 @@ class Cache
      * Dirty evictions are presented to the next level as zero-latency
      * writeback accesses (write buffers keep them off the critical
      * path), so every level's CacheStats see the real write traffic.
+     * A demand hit on a line brought in by prefetchFill() that has not
+     * yet arrived pays the remaining cycles (@p now vs the line's
+     * arrival stamp) on top of the hit latency.
      * @param is_writeback true when this access is a writeback arriving
      *        from the level above (accounted separately, latency unused)
+     * @param now issue cycle of the access (partial-hit accounting;
+     *        irrelevant when no prefetcher targets this level)
      */
-    unsigned access(uint64_t addr, bool is_write, bool is_writeback = false);
+    unsigned access(uint64_t addr, bool is_write, bool is_writeback = false,
+                    uint64_t now = 0);
+
+    /**
+     * Prefetch the line containing @p addr into this level.  Returns
+     * false (and does nothing) if the line is already resident;
+     * otherwise allocates it clean with an arrival stamp of @p now
+     * plus the fill latency from below, evicting (and writing back)
+     * the LRU victim exactly as a demand miss would.  Prefetch fills
+     * are counted in CacheStats::prefetchIssued, not accesses/misses.
+     */
+    bool prefetchFill(uint64_t addr, uint64_t now);
 
     /** True if the line containing @p addr is currently resident. */
     bool probe(uint64_t addr) const;
@@ -86,11 +110,14 @@ class Cache
         uint64_t tag = 0;
         bool valid = false;
         bool dirty = false;
+        bool prefetched = false; ///< brought in by prefetchFill, untouched
+        uint64_t readyCycle = 0; ///< prefetch arrival cycle
         uint64_t lruStamp = 0;
     };
 
     uint64_t lineIndex(uint64_t addr) const;
     uint64_t tagOf(uint64_t addr) const;
+    Line &allocate(uint64_t base, uint64_t tag);
 
     CacheParams params_;
     Cache *next_;

@@ -11,6 +11,7 @@
 
 #include "sim/btac.h"
 #include "sim/cache.h"
+#include "sim/memsys.h"
 #include "sim/predictor.h"
 
 namespace bp5::sim {
@@ -51,7 +52,15 @@ struct MachineConfig
     // POWER5's L2 is 1.875 MiB 10-way; the model rounds to the nearest
     // power-of-two geometry.
     CacheParams l2{"L2", 2048 * 1024, 16, 128, 12};
+    /** Latency charged when the last cache level misses.  The Cache
+     *  constructor takes this explicitly (no hard-coded default), so
+     *  this field is the single sweepable memory-latency knob. */
     unsigned memLatency = 230;
+
+    // Memory system: classic (pre-LSQ, bit-exact legacy) by default;
+    // MemSysParams::Mode::Lsq enables the load/store queue, store
+    // forwarding, speculative disambiguation and prefetchers.
+    MemSysParams memsys;
 
     /** The taken-branch bubble in effect (2, or 3 with SMT). */
     unsigned effectiveTakenPenalty() const
@@ -92,6 +101,23 @@ struct MachineConfig
         MachineConfig c;
         c.btacEnabled = true;
         c.numFXU = fxu;
+        return c;
+    }
+
+    /**
+     * Baseline with the load/store queue memory system: finite
+     * queues, store-to-load forwarding, speculative disambiguation,
+     * and (optionally) an L1D prefetcher.
+     */
+    static MachineConfig
+    power5WithLsq(unsigned loads = 16, unsigned stores = 16,
+                  PrefetchParams::Kind pf = PrefetchParams::Kind::None)
+    {
+        MachineConfig c;
+        c.memsys.mode = MemSysParams::Mode::Lsq;
+        c.memsys.lsq.loads = loads;
+        c.memsys.lsq.stores = stores;
+        c.memsys.l1dPrefetch.kind = pf;
         return c;
     }
 };

@@ -38,15 +38,18 @@ enum class StallReason : unsigned
  */
 enum class CpiComponent : unsigned
 {
-    Completing,  ///< a group completed this cycle
-    Frontend,    ///< I-side: fetch-limited (taken bubbles, L1I, width)
-    BranchFlush, ///< pipeline refill after a branch misprediction
-    LsuL1,       ///< data-side: L1-resident load/store dependences
-    LsuL2,       ///< L1D miss served from L2
-    LsuMem,      ///< L2 miss served from memory
-    Fxu,         ///< fixed-point result latency or FXU saturation
-    RobFull,     ///< completion table (ROB) full at dispatch
-    Other,       ///< BRU/CRU serialization and unclassified delay
+    Completing,    ///< a group completed this cycle
+    Frontend,      ///< I-side: fetch-limited (taken bubbles, L1I, width)
+    BranchFlush,   ///< pipeline refill after a branch misprediction
+    DisambigFlush, ///< refill after a load-ordering violation squash
+    LsuFwd,        ///< load waiting on store-queue forwarded data
+    LsuL1,         ///< data-side: L1-resident load/store dependences
+    LsuL2,         ///< L1D miss served from L2
+    LsuMem,        ///< L2 miss served from memory
+    Fxu,           ///< fixed-point result latency or FXU saturation
+    LsqFull,       ///< load/store queue full at dispatch
+    RobFull,       ///< completion table (ROB) full at dispatch
+    Other,         ///< BRU/CRU serialization and unclassified delay
     NUM_COMPONENTS,
 };
 
@@ -60,10 +63,13 @@ cpiComponentKey(CpiComponent c)
     case CpiComponent::Completing: return "completing";
     case CpiComponent::Frontend: return "frontend";
     case CpiComponent::BranchFlush: return "branch_flush";
+    case CpiComponent::DisambigFlush: return "disambig_flush";
+    case CpiComponent::LsuFwd: return "lsu_fwd";
     case CpiComponent::LsuL1: return "lsu_l1";
     case CpiComponent::LsuL2: return "lsu_l2";
     case CpiComponent::LsuMem: return "lsu_mem";
     case CpiComponent::Fxu: return "fxu";
+    case CpiComponent::LsqFull: return "lsq_full";
     case CpiComponent::RobFull: return "rob_full";
     case CpiComponent::Other: return "other";
     case CpiComponent::NUM_COMPONENTS: break;
@@ -79,10 +85,13 @@ cpiComponentLabel(CpiComponent c)
     case CpiComponent::Completing: return "completing";
     case CpiComponent::Frontend: return "frontend empty";
     case CpiComponent::BranchFlush: return "branch flush";
+    case CpiComponent::DisambigFlush: return "disambig flush";
+    case CpiComponent::LsuFwd: return "forwarded data";
     case CpiComponent::LsuL1: return "L1D data";
     case CpiComponent::LsuL2: return "L2 data";
     case CpiComponent::LsuMem: return "memory data";
     case CpiComponent::Fxu: return "FXU";
+    case CpiComponent::LsqFull: return "LSQ full";
     case CpiComponent::RobFull: return "ROB full";
     case CpiComponent::Other: return "other";
     case CpiComponent::NUM_COMPONENTS: break;
@@ -117,6 +126,14 @@ struct Counters
     uint64_t l1iAccesses = 0;
     uint64_t l1iMisses = 0;
     uint64_t l2Misses = 0;
+
+    // Memory system (zero in classic MemSysParams mode).
+    uint64_t storeForwards = 0;   ///< loads served from the store queue
+    uint64_t disambigFlushes = 0; ///< load-ordering violation squashes
+    uint64_t lsqFullLoads = 0;    ///< loads delayed by a full load queue
+    uint64_t lsqFullStores = 0;   ///< stores delayed by a full store queue
+    uint64_t prefetchIssued = 0;  ///< prefetch fills issued (all levels)
+    uint64_t prefetchHits = 0;    ///< demand hits on prefetched L1D lines
 
     // Completion-stall cycles by attributed reason.
     std::array<uint64_t, size_t(StallReason::NUM_REASONS)> stallCycles{};
@@ -195,14 +212,24 @@ struct Counters
         return cycles ? double(cpi[size_t(c)]) / double(cycles) : 0.0;
     }
 
-    /** Data-side stall share (L1D + L2 + memory components). */
+    /** Data-side stall share (forwarded + L1D + L2 + memory). */
     double
     cpiDataShare() const
     {
-        uint64_t d = cpi[size_t(CpiComponent::LsuL1)] +
+        uint64_t d = cpi[size_t(CpiComponent::LsuFwd)] +
+                     cpi[size_t(CpiComponent::LsuL1)] +
                      cpi[size_t(CpiComponent::LsuL2)] +
                      cpi[size_t(CpiComponent::LsuMem)];
         return cycles ? double(d) / double(cycles) : 0.0;
+    }
+
+    /** Flush share: branch mispredict + ordering-violation refills. */
+    double
+    cpiFlushShare() const
+    {
+        uint64_t f = cpi[size_t(CpiComponent::BranchFlush)] +
+                     cpi[size_t(CpiComponent::DisambigFlush)];
+        return cycles ? double(f) / double(cycles) : 0.0;
     }
 
     /** Dynamic fraction of instructions with opcode @p op. */

@@ -28,6 +28,12 @@ Counters::add(const Counters &o)
     l1iAccesses += o.l1iAccesses;
     l1iMisses += o.l1iMisses;
     l2Misses += o.l2Misses;
+    storeForwards += o.storeForwards;
+    disambigFlushes += o.disambigFlushes;
+    lsqFullLoads += o.lsqFullLoads;
+    lsqFullStores += o.lsqFullStores;
+    prefetchIssued += o.prefetchIssued;
+    prefetchHits += o.prefetchHits;
     for (size_t i = 0; i < stallCycles.size(); ++i)
         stallCycles[i] += o.stallCycles[i];
     for (size_t i = 0; i < cpi.size(); ++i)
@@ -73,6 +79,11 @@ struct Machine::TimingState
     uint64_t lastCommitCycle = 0;
     unsigned committedThisCycle = 0;
 
+    // Cause of the redirect whose shadow instructions are still being
+    // fetched: false = branch misprediction, true = load-ordering
+    // violation (disambiguation squash).
+    bool redirectDisambig = false;
+
     // Cycle accounting: cycles 1..lastAccounted are already attributed
     // to a CpiComponent.  Commit cycles are monotonic and cycles ==
     // the last commit cycle, so attributing each gap as it closes
@@ -87,16 +98,17 @@ struct Machine::TimingState
     StallReason groupReason = StallReason::Other;
     uint64_t lastGroupCommit = 0;
 
-    // Store-to-load forwarding (direct-mapped, tag-checked).
-    struct StoreSlot { uint64_t addr = ~0ULL; uint64_t complete = 0; };
-    std::array<StoreSlot, 4096> storeTable{};
+    // Store-to-load ordering state lives in the MemorySystem (the
+    // classic store table, or the LSQ); Machine::run calls
+    // memsys_.beginRun() wherever a TimingState is constructed.
 };
 
 Machine::Machine(const MachineConfig &config)
     : config_(config), exec_(state_, mem_),
       l2_(config.l2, nullptr, config.memLatency),
-      l1i_(config.l1i, &l2_),
-      l1d_(config.l1d, &l2_),
+      l1i_(config.l1i, &l2_, config.memLatency),
+      l1d_(config.l1d, &l2_, config.memLatency),
+      memsys_(config.memsys, &l1d_, &l2_),
       predictor_(makePredictor(config.predictor, config.predictorEntries,
                                config.predictorHistoryBits)),
       btac_(config.btac)
@@ -122,6 +134,7 @@ Machine::reset()
     l1i_.resetStats();
     l1d_.resetStats();
     l2_.resetStats();
+    memsys_.reset();
     predictor_ = makePredictor(config_.predictor, config_.predictorEntries,
                                config_.predictorHistoryBits);
     btac_ = Btac(config_.btac);
@@ -207,6 +220,7 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     }
 
     bool fetch_after_redirect = ts.redirectShadow > 0;
+    bool fetch_after_disambig = fetch_after_redirect && ts.redirectDisambig;
     if (ts.redirectShadow > 0)
         --ts.redirectShadow;
 
@@ -224,6 +238,16 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     if (ts.seq >= config_.robSize && dc <= rob_free) {
         dc = rob_free + 1;
         rob_limited = true;
+    }
+    // Load/store queue space (lsq mode; a no-op in classic mode).
+    bool lsq_limited = false;
+    if (info.isLoad || info.isStore)
+        dc = memsys_.reserve(info.isLoad, dc, &lsq_limited);
+    if (lsq_limited) {
+        if (info.isLoad)
+            ++c.lsqFullLoads;
+        else
+            ++c.lsqFullStores;
     }
     if (dc != ts.dispatchCycleCursor) {
         ts.dispatchCycleCursor = dc;
@@ -244,14 +268,23 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
         }
     }
 
-    // Store-to-load ordering through the forwarding table.
+    // Store-to-load ordering through the memory system: the classic
+    // store table makes the load wait for the store's completion; the
+    // LSQ may instead forward the data or speculate (and violate).
     bool load_after_store = false;
+    bool forwarded = false;
+    bool disambig_violation = false;
+    uint64_t conflict_complete = 0;
     if (info.isLoad) {
-        auto &slot = ts.storeTable[(info.memAddr >> 3) & 4095];
-        if (slot.addr == (info.memAddr >> 3) && slot.complete > rc_cycle) {
-            rc_cycle = slot.complete;
+        LoadStoreQueue::Order ord =
+            memsys_.orderLoad(info.pc, info.memAddr, rc_cycle);
+        if (ord.ready > rc_cycle) {
+            rc_cycle = ord.ready;
             load_after_store = true;
         }
+        forwarded = ord.forwarded;
+        disambig_violation = ord.violation;
+        conflict_complete = ord.conflictComplete;
     }
 
     // ------------------------------------------------------------- issue
@@ -276,19 +309,26 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     uint64_t latency = opi.latency;
     bool dcache_miss = false;
     bool l2_miss = false;
-    if (info.isLoad || info.isStore) {
+    if (forwarded) {
+        // Load served from the store queue: no cache access at all,
+        // just the forward latency once the data is ready.
+        latency = memsys_.params().lsq.forwardLatency;
+        ++c.storeForwards;
+    } else if (info.isLoad || info.isStore) {
         ++c.l1dAccesses;
-        uint64_t dm_before = l1d_.stats().misses;
-        uint64_t l2_before = l2_.stats().misses;
-        unsigned extra = l1d_.access(info.memAddr, info.isStore);
-        if (l1d_.stats().misses != dm_before) {
+        MemorySystem::Access ar =
+            memsys_.access(info.pc, info.memAddr, info.isStore, ic);
+        if (ar.l1dMiss) {
             ++c.l1dMisses;
             dcache_miss = true;
         }
-        if (l2_.stats().misses != l2_before) {
+        if (ar.l2Miss) {
             ++c.l2Misses;
             l2_miss = true;
         }
+        if (ar.prefetchedHit)
+            ++c.prefetchHits;
+        c.prefetchIssued += ar.prefetchIssued;
         if (sink_ && (dcache_miss || l2_miss)) {
             CacheMissRecord mr;
             mr.seq = seqno;
@@ -306,18 +346,39 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
             }
         }
         if (info.isLoad) {
-            latency = 1 + extra; // L1 hit => 1 + hitLatency = 2
+            latency = 1 + ar.latency; // L1 hit => 1 + hitLatency = 2
         } else {
             latency = 1; // store completes; writeback is buffered
         }
     }
     uint64_t cc = ic + latency;
 
-    if (info.isStore) {
-        auto &slot = ts.storeTable[(info.memAddr >> 3) & 4095];
-        slot.addr = info.memAddr >> 3;
-        slot.complete = cc;
+    if (disambig_violation) {
+        // The load speculated past an older store to the same granule
+        // and is squashed when the store's data arrives: it re-executes
+        // as a forward off the store queue, and everything younger is
+        // refetched (charged below as a DisambigFlush).
+        uint64_t redo =
+            conflict_complete + memsys_.params().lsq.forwardLatency;
+        if (redo > cc)
+            cc = redo;
+        ++c.disambigFlushes;
+        ts.fetchAvail = cc + 1 + memsys_.params().lsq.disambigPenalty;
+        ts.redirectShadow = config_.commitWidth;
+        ts.redirectDisambig = true;
+        if (sink_) {
+            FlushRecord fr;
+            fr.seq = seqno;
+            fr.pc = info.pc;
+            fr.resolveCycle = cc;
+            fr.refetchCycle = ts.fetchAvail;
+            fr.cause = FlushRecord::Cause::Disambig;
+            sink_->onFlush(fr);
+        }
     }
+
+    if (info.isStore)
+        memsys_.storeComplete(info.memAddr, cc);
 
     // Register results become available at completion.
     unsigned dsts[isa::kMaxDeps];
@@ -392,8 +453,10 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
                 ++c.takenBubbles;
             }
         }
-        if (redirect)
+        if (redirect) {
             ts.redirectShadow = config_.commitWidth;
+            ts.redirectDisambig = false;
+        }
 
         if (sink_) {
             BranchRecord br;
@@ -457,7 +520,7 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
                                dcache_miss || load_after_store;
         if (fetch_after_redirect) {
             reason = StallReason::Branch;
-        } else if (dcache_miss) {
+        } else if (dcache_miss || disambig_violation) {
             reason = StallReason::LSU;
         } else if (late_in_backend) {
             reason = unitToReason(opi.unit);
@@ -481,19 +544,28 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     {
         bool late_in_backend = rc_cycle > dc || unit_contended ||
                                dcache_miss || load_after_store;
-        if (fetch_after_redirect) {
-            comp = CpiComponent::BranchFlush;
+        if (disambig_violation) {
+            comp = CpiComponent::DisambigFlush;
+        } else if (fetch_after_redirect) {
+            comp = fetch_after_disambig ? CpiComponent::DisambigFlush
+                                        : CpiComponent::BranchFlush;
         } else if (dcache_miss) {
             comp = l2_miss ? CpiComponent::LsuMem : CpiComponent::LsuL2;
         } else if (late_in_backend) {
-            isa::Unit u = opi.unit;
-            if (u != isa::Unit::FXU && u != isa::Unit::LSU &&
-                critical_producer != isa::Unit::NONE) {
-                u = critical_producer;
+            if (forwarded) {
+                comp = CpiComponent::LsuFwd;
+            } else {
+                isa::Unit u = opi.unit;
+                if (u != isa::Unit::FXU && u != isa::Unit::LSU &&
+                    critical_producer != isa::Unit::NONE) {
+                    u = critical_producer;
+                }
+                comp = u == isa::Unit::FXU   ? CpiComponent::Fxu
+                       : u == isa::Unit::LSU ? CpiComponent::LsuL1
+                                             : CpiComponent::Other;
             }
-            comp = u == isa::Unit::FXU   ? CpiComponent::Fxu
-                   : u == isa::Unit::LSU ? CpiComponent::LsuL1
-                                         : CpiComponent::Other;
+        } else if (lsq_limited) {
+            comp = CpiComponent::LsqFull;
         } else if (rob_limited) {
             comp = CpiComponent::RobFull;
         } else {
@@ -531,6 +603,8 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
     }
 
     ts.robCommitCycle[ts.seq % config_.robSize] = commit;
+    if (info.isLoad || info.isStore)
+        memsys_.commit(info.isLoad, commit);
     ++ts.seq;
 
     // ---------------------------------------------------------- counters
@@ -564,6 +638,12 @@ Machine::scheduleInstruction(const StepInfo &info, TimingState &ts,
         rec.l1iMiss = icache_miss;
         rec.l1dMiss = dcache_miss;
         rec.l2Miss = l2_miss;
+        rec.forwarded = forwarded;
+        rec.disambigFlush = disambig_violation;
+        if ((info.isLoad || info.isStore) && !memsys_.classic()) {
+            rec.lsqLoadOcc = memsys_.occupancy(true, dc);
+            rec.lsqStoreOcc = memsys_.occupancy(false, dc);
+        }
         sink_->onInstruction(rec, c);
     }
 }
@@ -576,6 +656,7 @@ Machine::run(uint64_t max_instructions)
 
     RunResult res;
     timing_ = std::make_unique<TimingState>(config_);
+    memsys_.beginRun();
     TimingState &ts = *timing_;
     Counters &c = res.counters;
     if (sink_)
@@ -633,6 +714,7 @@ Machine::runSampled(uint64_t max_instructions)
     RunResult res;
     res.sampled = true;
     timing_ = std::make_unique<TimingState>(config_);
+    memsys_.beginRun();
     TimingState &ts = *timing_;
     Counters &c = res.counters;
     Counters ff; ///< architectural counts from fast-forward phases
@@ -705,6 +787,12 @@ Machine::runSampled(uint64_t max_instructions)
         c.l1dMisses = scaleCounter(c.l1dMisses, r);
         c.l1iMisses = scaleCounter(c.l1iMisses, r);
         c.l2Misses = scaleCounter(c.l2Misses, r);
+        c.storeForwards = scaleCounter(c.storeForwards, r);
+        c.disambigFlushes = scaleCounter(c.disambigFlushes, r);
+        c.lsqFullLoads = scaleCounter(c.lsqFullLoads, r);
+        c.lsqFullStores = scaleCounter(c.lsqFullStores, r);
+        c.prefetchIssued = scaleCounter(c.prefetchIssued, r);
+        c.prefetchHits = scaleCounter(c.prefetchHits, r);
         for (size_t i = 0; i < c.stallCycles.size(); ++i)
             c.stallCycles[i] = scaleCounter(c.stallCycles[i], r);
         for (size_t i = 0; i < c.cpi.size(); ++i)
@@ -736,7 +824,13 @@ Machine::runSampled(uint64_t max_instructions)
         }
     }
     c.l1iAccesses = c.instructions;
-    c.l1dAccesses = c.loads + c.stores;
+    // Every memory op accesses the L1D except store-queue forwards
+    // (exact in classic mode where storeForwards is zero; the
+    // extrapolated forward count keeps the reconstruction consistent
+    // with the detailed model's rate in lsq mode).
+    uint64_t memOps = c.loads + c.stores;
+    c.l1dAccesses =
+        memOps > c.storeForwards ? memOps - c.storeForwards : 0;
 
     if (sink_)
         sink_->onRunEnd(c);

@@ -30,6 +30,7 @@
 #include "sim/core_state.h"
 #include "sim/exec.h"
 #include "sim/memory.h"
+#include "sim/memsys.h"
 #include "sim/predictor.h"
 #include "sim/trace.h"
 
@@ -147,6 +148,7 @@ class Machine
     const Cache &l1i() const { return l1i_; }
     const Cache &l2() const { return l2_; }
     const Btac &btac() const { return btac_; }
+    const MemorySystem &memsys() const { return memsys_; }
 
     /**
      * Collect per-branch-site PMU counters during timed runs (off by
@@ -191,6 +193,7 @@ class Machine
     Cache l2_;
     Cache l1i_;
     Cache l1d_;
+    MemorySystem memsys_;
     std::unique_ptr<DirectionPredictor> predictor_;
     Btac btac_;
 

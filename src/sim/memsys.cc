@@ -1,0 +1,45 @@
+#include "sim/memsys.h"
+
+#include "sim/cache.h"
+
+namespace bp5::sim {
+
+const char *
+memSysModeKey(MemSysParams::Mode m)
+{
+    switch (m) {
+      case MemSysParams::Mode::Classic:
+        return "classic";
+      case MemSysParams::Mode::Lsq:
+        return "lsq";
+    }
+    return "?";
+}
+
+MemorySystem::MemorySystem(const MemSysParams &params, Cache *l1d, Cache *l2)
+    : params_(params), l1d_(l1d), l2_(l2),
+      lsq_(params.lsq, params.classic())
+{
+    if (params_.l1dPrefetch.enabled())
+        l1dPf_ = std::make_unique<Prefetcher>(params_.l1dPrefetch, l1d_);
+    if (params_.l2Prefetch.enabled())
+        l2Pf_ = std::make_unique<Prefetcher>(params_.l2Prefetch, l2_);
+}
+
+void
+MemorySystem::beginRun()
+{
+    lsq_.beginRun();
+}
+
+void
+MemorySystem::reset()
+{
+    lsq_.reset();
+    if (l1dPf_)
+        l1dPf_->reset();
+    if (l2Pf_)
+        l2Pf_->reset();
+}
+
+} // namespace bp5::sim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The composable memory system of the core model (DESIGN.md §4.11):
+ * a load/store queue (sim/lsq.h) plus optional stride / next-line
+ * prefetch engines (sim/prefetch.h) attached to the L1D and L2 of the
+ * Machine's cache hierarchy.  The Machine delegates every step of its
+ * memory path here — queue reservation at dispatch, store-to-load
+ * ordering, the demand cache access, store completion, commit — and
+ * owns all Counters itself; the MemorySystem reports per-operation
+ * outcomes.
+ *
+ * MemSysParams::Mode::Classic reproduces the pre-MemorySystem machine
+ * bit-for-bit (unbounded queues, direct-mapped store table, no
+ * forwarding, no speculation, no prefetch); this is the default and is
+ * differentially tested against captured pre-refactor counters.
+ */
+
+#ifndef BIOPERF5_SIM_MEMSYS_H
+#define BIOPERF5_SIM_MEMSYS_H
+
+#include <memory>
+
+#include "sim/cache.h"
+#include "sim/lsq.h"
+#include "sim/prefetch.h"
+
+namespace bp5::sim {
+
+/** Memory-system configuration (part of MachineConfig). */
+struct MemSysParams
+{
+    enum class Mode : unsigned
+    {
+        Classic, ///< pre-MemorySystem behaviour, bit-for-bit
+        Lsq,     ///< finite LSQ + forwarding + speculative disambiguation
+    };
+
+    Mode mode = Mode::Classic;
+    LsqParams lsq;
+    PrefetchParams l1dPrefetch;
+    PrefetchParams l2Prefetch;
+
+    bool classic() const { return mode == Mode::Classic; }
+
+    friend bool operator==(const MemSysParams &,
+                           const MemSysParams &) = default;
+};
+
+/** Stable key for manifests ("classic" / "lsq"). */
+const char *memSysModeKey(MemSysParams::Mode m);
+
+/** The memory system; see the file comment. */
+class MemorySystem
+{
+  public:
+    /** Outcome of one demand cache access. */
+    struct Access
+    {
+        unsigned latency = 0;      ///< added cycles (hierarchy walk)
+        bool l1dMiss = false;
+        bool l2Miss = false;
+        bool prefetchedHit = false; ///< demand hit on a prefetched line
+        unsigned prefetchIssued = 0; ///< fills triggered by this access
+    };
+
+    MemorySystem(const MemSysParams &params, Cache *l1d, Cache *l2);
+
+    const MemSysParams &params() const { return params_; }
+    bool classic() const { return params_.classic(); }
+    const LoadStoreQueue &lsq() const { return lsq_; }
+
+    /** Clear per-run queue state (call where TimingState is rebuilt). */
+    void beginRun();
+
+    /** Full reset: queues, dependence predictor, prefetch tables. */
+    void reset();
+
+    /** Dispatch-time queue reservation (see LoadStoreQueue::reserve). */
+    uint64_t
+    reserve(bool isLoad, uint64_t dc, bool *limited)
+    {
+        return lsq_.reserve(isLoad, dc, limited);
+    }
+
+    /** Order a load against older stores (see LoadStoreQueue). */
+    LoadStoreQueue::Order
+    orderLoad(uint64_t pc, uint64_t addr, uint64_t ready)
+    {
+        return lsq_.orderLoad(pc, addr, ready);
+    }
+
+    /** Demand access from the core: walks the hierarchy, classifies
+     *  the miss level, and runs the attached prefetch engines.
+     *  Inline: one call per memory op on the timing hot loop. */
+    Access
+    access(uint64_t pc, uint64_t addr, bool isStore, uint64_t now)
+    {
+        Access r;
+        uint64_t l1dBefore = l1d_->stats().misses;
+        uint64_t l2Before = l2_->stats().misses;
+        uint64_t phBefore = l1d_->stats().prefetchHits;
+        r.latency = l1d_->access(addr, isStore, /*is_writeback=*/false,
+                                 now);
+        r.l1dMiss = l1d_->stats().misses != l1dBefore;
+        r.l2Miss = l2_->stats().misses != l2Before;
+        r.prefetchedHit = l1d_->stats().prefetchHits != phBefore;
+        if (l1dPf_)
+            r.prefetchIssued += l1dPf_->observe(pc, addr, r.l1dMiss, now);
+        if (l2Pf_)
+            r.prefetchIssued += l2Pf_->observe(pc, addr, r.l2Miss, now);
+        return r;
+    }
+
+    /** A store's data became available at @p cc. */
+    void
+    storeComplete(uint64_t addr, uint64_t cc)
+    {
+        lsq_.storeComplete(addr, cc);
+    }
+
+    /** The memory op committed (frees its queue slot). */
+    void
+    commit(bool isLoad, uint64_t commitCycle)
+    {
+        lsq_.commit(isLoad, commitCycle);
+    }
+
+    /** Queue occupancy at @p cycle (lsq mode; 0 in classic). */
+    unsigned
+    occupancy(bool loadQueue, uint64_t cycle) const
+    {
+        return lsq_.occupancy(loadQueue, cycle);
+    }
+
+  private:
+    MemSysParams params_;
+    Cache *l1d_;
+    Cache *l2_;
+    LoadStoreQueue lsq_;
+    std::unique_ptr<Prefetcher> l1dPf_;
+    std::unique_ptr<Prefetcher> l2Pf_;
+};
+
+} // namespace bp5::sim
+
+#endif // BIOPERF5_SIM_MEMSYS_H

@@ -1,0 +1,97 @@
+#include "sim/prefetch.h"
+
+#include "sim/cache.h"
+#include "support/bitfield.h"
+#include "support/logging.h"
+
+namespace bp5::sim {
+
+const char *
+prefetchKindKey(PrefetchParams::Kind k)
+{
+    switch (k) {
+      case PrefetchParams::Kind::None:
+        return "none";
+      case PrefetchParams::Kind::NextLine:
+        return "next_line";
+      case PrefetchParams::Kind::Stride:
+        return "stride";
+    }
+    return "?";
+}
+
+Prefetcher::Prefetcher(const PrefetchParams &params, Cache *target)
+    : params_(params), target_(target)
+{
+    if (params_.kind == PrefetchParams::Kind::Stride) {
+        BP5_ASSERT(isPow2(params_.tableEntries),
+                   "stride table size must be a power of 2");
+        table_.resize(params_.tableEntries);
+    }
+}
+
+unsigned
+Prefetcher::issueLines(uint64_t firstAddr, int64_t step, uint64_t now)
+{
+    unsigned issued = 0;
+    uint64_t addr = firstAddr;
+    for (unsigned i = 0; i < params_.degree; ++i) {
+        if (target_->prefetchFill(addr, now))
+            ++issued;
+        addr = uint64_t(int64_t(addr) + step);
+    }
+    return issued;
+}
+
+unsigned
+Prefetcher::observe(uint64_t pc, uint64_t addr, bool miss, uint64_t now)
+{
+    switch (params_.kind) {
+      case PrefetchParams::Kind::None:
+        return 0;
+
+      case PrefetchParams::Kind::NextLine: {
+        if (!miss)
+            return 0;
+        unsigned line = target_->params().lineBytes;
+        return issueLines(addr + line, int64_t(line), now);
+      }
+
+      case PrefetchParams::Kind::Stride: {
+        StrideEntry &e = table_[(pc >> 2) & (table_.size() - 1)];
+        if (e.tag != pc) {
+            e = StrideEntry();
+            e.tag = pc;
+            e.lastAddr = addr;
+            return 0;
+        }
+        int64_t delta = int64_t(addr) - int64_t(e.lastAddr);
+        e.lastAddr = addr;
+        unsigned issued = 0;
+        if (delta != 0 && delta == e.stride) {
+            if (e.confidence < 3)
+                ++e.confidence;
+            if (e.confidence >= 2) {
+                uint64_t target = uint64_t(
+                    int64_t(addr) + e.stride * int64_t(params_.distance));
+                issued = issueLines(target, e.stride, now);
+            }
+        } else if (e.confidence > 0) {
+            --e.confidence;
+        } else {
+            e.stride = delta;
+        }
+        return issued;
+      }
+    }
+    return 0;
+}
+
+void
+Prefetcher::reset()
+{
+    for (auto &e : table_)
+        e = StrideEntry();
+}
+
+} // namespace bp5::sim

@@ -67,6 +67,16 @@ struct InstRecord
     bool l1iMiss = false;
     bool l1dMiss = false;
     bool l2Miss = false;
+
+    // Memory-system outcomes (all zero in classic MemSysParams mode).
+    bool forwarded = false;     ///< load data forwarded from store queue
+    bool disambigFlush = false; ///< this load squashed on an ordering
+                                ///< violation (a Disambig FlushRecord
+                                ///< precedes this record)
+    /** Load/store queue occupancy at this op's dispatch (lsq mode,
+     *  memory ops only; feeds the Perfetto occupancy counter track). */
+    unsigned lsqLoadOcc = 0;
+    unsigned lsqStoreOcc = 0;
 };
 
 /** One branch resolution (emitted for every branch instruction). */
@@ -93,10 +103,11 @@ struct FlushRecord
         Direction, ///< direction misprediction
         Target,    ///< indirect-target misprediction
         BtacSteer, ///< BTAC steered fetch to the wrong place
+        Disambig,  ///< load-ordering violation (speculative load squash)
     };
 
     uint64_t seq = 0;
-    uint64_t pc = 0;           ///< the mispredicted branch
+    uint64_t pc = 0;           ///< the mispredicted branch (or the load)
     uint64_t resolveCycle = 0; ///< cycle the branch resolved
     uint64_t refetchCycle = 0; ///< cycle fetch resumes
     Cause cause = Cause::Direction;

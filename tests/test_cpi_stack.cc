@@ -22,6 +22,7 @@
 #include "obs/pmu_sampler.h"
 #include "sim/machine.h"
 #include "support/histogram.h"
+#include "support/logging.h"
 #include "workloads/workload.h"
 
 namespace bp5 {
@@ -53,11 +54,11 @@ skip:
 )";
 
 sim::RunResult
-runLoop(sim::TraceSink *sink = nullptr,
-        const sim::SamplingParams &sp = sim::SamplingParams{})
+runLoopOn(const sim::MachineConfig &mc, sim::TraceSink *sink = nullptr,
+          const sim::SamplingParams &sp = sim::SamplingParams{})
 {
     masm::Program prog = masm::assemble(kLoopSrc);
-    sim::Machine m;
+    sim::Machine m(mc);
     m.setSampling(sp);
     m.loadProgram(prog);
     m.state().pc = prog.base;
@@ -65,6 +66,13 @@ runLoop(sim::TraceSink *sink = nullptr,
     sim::RunResult r = m.run();
     EXPECT_TRUE(r.halted);
     return r;
+}
+
+sim::RunResult
+runLoop(sim::TraceSink *sink = nullptr,
+        const sim::SamplingParams &sp = sim::SamplingParams{})
+{
+    return runLoopOn(sim::MachineConfig(), sink, sp);
 }
 
 void
@@ -163,6 +171,47 @@ TEST(CpiInvariant, SampledRunExtrapolationStaysExact)
         EXPECT_NEAR(ss.share(sim::CpiComponent(i)),
                     fs.share(sim::CpiComponent(i)), 0.1)
             << sim::cpiComponentKey(sim::CpiComponent(i));
+    }
+}
+
+TEST(CpiInvariant, HoldsInLsqModeAcrossQueueAndPrefetchConfigs)
+{
+    // The invariant must survive the MemorySystem's new flush source
+    // (ordering violations), forwarding, LSQ back-pressure and
+    // prefetching — per run, per PMU window, and under sampling.
+    const sim::MachineConfig configs[] = {
+        sim::MachineConfig::power5WithLsq(),
+        sim::MachineConfig::power5WithLsq(8, 8,
+                                          sim::PrefetchParams::Kind::Stride),
+        sim::MachineConfig::power5WithLsq(
+            16, 16, sim::PrefetchParams::Kind::NextLine),
+        sim::MachineConfig::power5WithLsq(2, 2,
+                                          sim::PrefetchParams::Kind::Stride),
+    };
+    for (const sim::MachineConfig &mc : configs) {
+        std::string what =
+            strprintf("lsq %u/%u pf=%s", mc.memsys.lsq.loads,
+                      mc.memsys.lsq.stores,
+                      sim::prefetchKindKey(mc.memsys.l1dPrefetch.kind));
+        expectExactStack(runLoopOn(mc).counters, what);
+
+        obs::PmuSampler sampler(777);
+        sim::RunResult r = runLoopOn(mc, &sampler);
+        obs::CpiStack sum;
+        for (const obs::PmuInterval &w : sampler.intervals(true)) {
+            obs::CpiStack s = obs::CpiStack::fromCounters(w.delta);
+            EXPECT_TRUE(s.consistent())
+                << what << " window [" << w.startCycle << ", "
+                << w.endCycle << ")";
+            sum.add(s);
+        }
+        EXPECT_EQ(sum.totalCycles, r.counters.cycles) << what;
+        EXPECT_EQ(sum.cycles, r.counters.cpi) << what;
+
+        sim::RunResult sampled =
+            runLoopOn(mc, nullptr, {2'000, 18'000, true});
+        ASSERT_TRUE(sampled.sampled) << what;
+        expectExactStack(sampled.counters, what + " (sampled)");
     }
 }
 

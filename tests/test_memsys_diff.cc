@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Differential guarantee of the MemorySystem refactor: the default
+ * (classic) MemSysParams mode reproduces the pre-refactor timing
+ * model bit-for-bit.  The golden rows in golden_memsys.inc were
+ * captured from the last pre-MemorySystem build (4 apps x 7 variants
+ * on power5Baseline, plus 4 apps on power5Enhanced; class A inputs,
+ * 60k-instruction budget) and must never change: any divergence means
+ * the classic path no longer models what it claims to model.
+ *
+ * The golden capture predates the CPI-stack extension, so its cpi
+ * arrays carry the old nine components; the test maps them into
+ * today's enum by name and requires the three new components
+ * (DisambigFlush, LsuFwd, LsqFull) to be exactly zero, along with
+ * every new memory-system counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "mpc/compiler.h"
+#include "sim/config.h"
+#include "workloads/workload.h"
+
+namespace bp5 {
+namespace {
+
+using mpc::Variant;
+using workloads::App;
+
+/** Counters as the pre-refactor build printed them. */
+struct GoldenCounters
+{
+    uint64_t cycles, instructions, branches, condBranches, takenBranches,
+        mispredDirection, mispredTarget, takenBubbles, btacPredictions,
+        btacCorrect, btacMispredicts, loads, stores, l1dAccesses,
+        l1dMisses, l1iMisses, l2Misses;
+    uint64_t cpi[9]; ///< pre-refactor CpiComponent order
+};
+
+struct GoldenRow
+{
+    App app;
+    Variant variant;
+    const char *machine;
+    GoldenCounters c;
+};
+
+const GoldenRow kGolden[] = {
+#include "golden_memsys.inc"
+};
+
+/** The pre-refactor enum order, expressed in today's components. */
+constexpr sim::CpiComponent kOldOrder[9] = {
+    sim::CpiComponent::Completing, sim::CpiComponent::Frontend,
+    sim::CpiComponent::BranchFlush, sim::CpiComponent::LsuL1,
+    sim::CpiComponent::LsuL2,      sim::CpiComponent::LsuMem,
+    sim::CpiComponent::Fxu,        sim::CpiComponent::RobFull,
+    sim::CpiComponent::Other,
+};
+
+TEST(MemSysClassicDiff, BitExactAgainstPreRefactorGolden)
+{
+    for (const GoldenRow &g : kGolden) {
+        sim::MachineConfig mc =
+            std::string(g.machine) == "enhanced"
+                ? sim::MachineConfig::power5Enhanced()
+                : sim::MachineConfig::power5Baseline();
+        ASSERT_TRUE(mc.memsys.classic()); // classic is the default mode
+
+        workloads::WorkloadConfig wc;
+        wc.app = g.app;
+        wc.klass = workloads::InputClass::A;
+        wc.simInstructionBudget = 60'000;
+        workloads::Workload w(wc);
+        sim::Counters c = w.simulate(g.variant, mc).counters;
+
+        std::string what = std::string(workloads::appName(g.app)) + "/" +
+                           mpc::variantName(g.variant) + "/" + g.machine;
+        EXPECT_EQ(c.cycles, g.c.cycles) << what;
+        EXPECT_EQ(c.instructions, g.c.instructions) << what;
+        EXPECT_EQ(c.branches, g.c.branches) << what;
+        EXPECT_EQ(c.condBranches, g.c.condBranches) << what;
+        EXPECT_EQ(c.takenBranches, g.c.takenBranches) << what;
+        EXPECT_EQ(c.mispredDirection, g.c.mispredDirection) << what;
+        EXPECT_EQ(c.mispredTarget, g.c.mispredTarget) << what;
+        EXPECT_EQ(c.takenBubbles, g.c.takenBubbles) << what;
+        EXPECT_EQ(c.btacPredictions, g.c.btacPredictions) << what;
+        EXPECT_EQ(c.btacCorrect, g.c.btacCorrect) << what;
+        EXPECT_EQ(c.btacMispredicts, g.c.btacMispredicts) << what;
+        EXPECT_EQ(c.loads, g.c.loads) << what;
+        EXPECT_EQ(c.stores, g.c.stores) << what;
+        EXPECT_EQ(c.l1dAccesses, g.c.l1dAccesses) << what;
+        EXPECT_EQ(c.l1dMisses, g.c.l1dMisses) << what;
+        EXPECT_EQ(c.l1iMisses, g.c.l1iMisses) << what;
+        EXPECT_EQ(c.l2Misses, g.c.l2Misses) << what;
+
+        // Classic mode must not produce a single LSQ/prefetch event.
+        EXPECT_EQ(c.storeForwards, 0u) << what;
+        EXPECT_EQ(c.disambigFlushes, 0u) << what;
+        EXPECT_EQ(c.lsqFullLoads, 0u) << what;
+        EXPECT_EQ(c.lsqFullStores, 0u) << what;
+        EXPECT_EQ(c.prefetchIssued, 0u) << what;
+        EXPECT_EQ(c.prefetchHits, 0u) << what;
+
+        uint64_t expected[sim::kNumCpiComponents] = {};
+        for (size_t i = 0; i < 9; ++i)
+            expected[size_t(kOldOrder[i])] = g.c.cpi[i];
+        for (size_t i = 0; i < sim::kNumCpiComponents; ++i)
+            EXPECT_EQ(c.cpi[i], expected[i])
+                << what << " cpi["
+                << sim::cpiComponentKey(sim::CpiComponent(i)) << "]";
+    }
+}
+
+} // namespace
+} // namespace bp5

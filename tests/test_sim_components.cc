@@ -9,6 +9,7 @@
 
 #include "sim/btac.h"
 #include "sim/cache.h"
+#include "sim/config.h"
 #include "sim/memory.h"
 #include "sim/predictor.h"
 #include "support/random.h"
@@ -224,6 +225,109 @@ TEST(Cache, FlushInvalidatesKeepsStats)
     c.flush();
     EXPECT_FALSE(c.probe(0));
     EXPECT_EQ(c.stats().accesses, 1u);
+}
+
+TEST(Cache, MemLatencyKnobLivesInMachineConfig)
+{
+    // The 230-cycle memory latency of the baseline POWER5 is a
+    // MachineConfig field, not a Cache-constructor default: pin it so a
+    // sweep changes one knob and nothing re-introduces a hidden copy.
+    EXPECT_EQ(MachineConfig().memLatency, 230u);
+    EXPECT_EQ(MachineConfig::power5Baseline().memLatency, 230u);
+    EXPECT_EQ(MachineConfig::power5Enhanced().memLatency, 230u);
+    // A last-level cache charges exactly that knob on a miss.
+    MachineConfig mc;
+    Cache solo(smallCache(), nullptr, mc.memLatency);
+    EXPECT_EQ(solo.access(0x40, false), 1u + 230u);
+}
+
+// --------------------------------------------------- prefetch fills
+
+TEST(CachePrefetch, FillAllocatesOffTheDemandStats)
+{
+    Cache c(smallCache(), nullptr, 100);
+    EXPECT_TRUE(c.prefetchFill(0x40, 10));
+    EXPECT_FALSE(c.prefetchFill(0x40, 10)); // already in flight
+    EXPECT_TRUE(c.probe(0x40));
+    EXPECT_EQ(c.stats().prefetchIssued, 1u);
+    EXPECT_EQ(c.stats().accesses, 0u); // fills are not demand traffic
+    EXPECT_EQ(c.stats().misses, 0u);
+    c.access(0x80, false);
+    EXPECT_FALSE(c.prefetchFill(0x80, 10)); // demand-resident line
+    EXPECT_EQ(c.stats().prefetchIssued, 1u);
+}
+
+TEST(CachePrefetch, DemandHitPaysRemainingInFlightLatency)
+{
+    Cache c(smallCache(), nullptr, 100);
+    c.prefetchFill(0x40, 100); // arrives at 100 + 1 + 100 = 201
+    // Demand catches up mid-flight: hit latency plus the 51 cycles
+    // still outstanding (partial hit), not the full miss cost.
+    EXPECT_EQ(c.access(0x40, false, false, 150), 1u + 51u);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+    EXPECT_EQ(c.stats().misses, 0u);
+    // The prefetched flag is consumed: the next touch is a plain hit.
+    EXPECT_EQ(c.access(0x40, false, false, 160), 1u);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+}
+
+TEST(CachePrefetch, ArrivedFillHitsAtPlainLatency)
+{
+    Cache c(smallCache(), nullptr, 100);
+    c.prefetchFill(0x40, 0); // arrives at cycle 101
+    EXPECT_EQ(c.access(0x40, false, false, 500), 1u);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+}
+
+TEST(CachePrefetch, UntouchedLinesCountUselessOnEviction)
+{
+    Cache c(smallCache(), nullptr, 100);
+    uint64_t setStride = 8 * 64;
+    c.prefetchFill(0, 0);
+    c.access(setStride, false);
+    c.access(2 * setStride, false); // evicts the untouched prefetch
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_EQ(c.stats().prefetchUseless, 1u);
+    // A demand-touched prefetch is useful; its later eviction is not
+    // counted.
+    c.prefetchFill(3 * setStride, 0);
+    c.access(3 * setStride, false, false, 500);
+    c.access(4 * setStride, false);
+    c.access(5 * setStride, false);
+    EXPECT_EQ(c.stats().prefetchUseless, 1u);
+}
+
+TEST(CachePrefetch, FillEvictionWritesBackDirtyVictim)
+{
+    CacheParams l2p = smallCache();
+    l2p.sizeBytes = 4096;
+    l2p.hitLatency = 10;
+    Cache l2(l2p, nullptr, 100);
+    Cache l1(smallCache(), &l2, 100);
+
+    uint64_t setStride = 8 * 64;
+    l1.access(0, true);         // dirty
+    l1.access(setStride, true); // dirty, same set
+    // The fill evicts the LRU dirty line: the victim's writeback must
+    // reach the L2 exactly as a demand eviction's would.
+    EXPECT_TRUE(l1.prefetchFill(2 * setStride, 0));
+    EXPECT_EQ(l1.stats().writebacks, 1u);
+    EXPECT_EQ(l2.stats().writebacksIn, 1u);
+    EXPECT_FALSE(l1.probe(0)); // victim gone from L1...
+    EXPECT_TRUE(l2.probe(0));  // ...its writeback landed below
+    EXPECT_TRUE(l1.probe(2 * setStride));
+    // Reloading the victim hits the written-back L2 copy.
+    EXPECT_EQ(l1.access(0, false), 1u + 10u);
+}
+
+TEST(CachePrefetch, FlushDropsInFlightFills)
+{
+    Cache c(smallCache(), nullptr, 100);
+    c.prefetchFill(0x40, 0);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.access(0x40, false), 101u); // plain miss, no stale hit
+    EXPECT_EQ(c.stats().prefetchHits, 0u);
 }
 
 /** Property: miss count equals distinct lines for a streaming sweep. */

@@ -15,6 +15,10 @@
  *   --variant=NAME   Original | hand isel | hand max | comp. isel |
  *                    comp. max | Combination (punctuation optional)
  *   --machine=NAME   baseline | btac | fxu3 | fxu4 | enhanced
+ *   --memsys=NAME    classic | lsq | lsq+nextline | lsq+stride
+ *                    (memory-system model; lsq adds finite queues,
+ *                    store forwarding and speculative disambiguation,
+ *                    the +kind forms attach an L1D prefetcher)
  *   --klass=A|B|C    input class (app mode)
  *
  * Sampling and output:
@@ -66,6 +70,7 @@ struct Options
     std::string app;
     std::string variant = "Original";
     std::string machine = "baseline";
+    std::string memsys = "classic";
     std::string klass = "B";
     uint64_t budget = 2'000'000;
     uint64_t seed = 42;
@@ -86,6 +91,7 @@ usage()
     std::fputs(
         "usage: bp5-trace (--kernel=NAME | --app=NAME) [--variant=NAME]\n"
         "                 [--machine=baseline|btac|fxu3|fxu4|enhanced]\n"
+        "                 [--memsys=classic|lsq|lsq+nextline|lsq+stride]\n"
         "                 [--klass=A|B|C] [--budget=N] [--seed=N]\n"
         "                 [--interval=N] [--sites] [--stalls]\n"
         "                 [--max-events=N]\n"
@@ -145,6 +151,29 @@ machineFromString(const std::string &s)
     if (want == "enhanced")
         return sim::MachineConfig::power5Enhanced();
     fatal("unknown machine '%s'", s.c_str());
+}
+
+/** Parse --memsys and overlay it on the selected machine config. */
+void
+applyMemsys(sim::MachineConfig &mc, const std::string &s)
+{
+    std::string want = normalized(s);
+    if (want == "classic") {
+        mc.memsys = sim::MemSysParams();
+        return;
+    }
+    mc.memsys.mode = sim::MemSysParams::Mode::Lsq;
+    if (want == "lsq")
+        return;
+    if (want == "lsqnextline") {
+        mc.memsys.l1dPrefetch.kind = sim::PrefetchParams::Kind::NextLine;
+        return;
+    }
+    if (want == "lsqstride") {
+        mc.memsys.l1dPrefetch.kind = sim::PrefetchParams::Kind::Stride;
+        return;
+    }
+    fatal("unknown memsys '%s'", s.c_str());
 }
 
 /** Canned deterministic inputs for one kernel; keeps invoking until
@@ -303,9 +332,12 @@ stallProfileRows(const sim::StallProfile &profile,
             .set("top_component",
                  sim::cpiComponentKey(sim::CpiComponent(topComp)))
             .set("flush",
-                 site->cycles[size_t(sim::CpiComponent::BranchFlush)])
+                 site->cycles[size_t(sim::CpiComponent::BranchFlush)] +
+                     site->cycles[size_t(
+                         sim::CpiComponent::DisambigFlush)])
             .set("data",
-                 site->cycles[size_t(sim::CpiComponent::LsuL1)] +
+                 site->cycles[size_t(sim::CpiComponent::LsuFwd)] +
+                     site->cycles[size_t(sim::CpiComponent::LsuL1)] +
                      site->cycles[size_t(sim::CpiComponent::LsuL2)] +
                      site->cycles[size_t(sim::CpiComponent::LsuMem)])
             .set("fxu", site->cycles[size_t(sim::CpiComponent::Fxu)]);
@@ -346,6 +378,8 @@ main(int argc, char **argv)
             opts.variant = v;
         } else if (const char *v = val("--machine=")) {
             opts.machine = v;
+        } else if (const char *v = val("--memsys=")) {
+            opts.memsys = v;
         } else if (const char *v = val("--klass=")) {
             opts.klass = v;
         } else if (const char *v = val("--budget=")) {
@@ -391,6 +425,7 @@ main(int argc, char **argv)
 
     mpc::Variant variant = variantFromString(opts.variant);
     sim::MachineConfig mc = machineFromString(opts.machine);
+    applyMemsys(mc, opts.memsys);
     kernels::KernelKind kind = kernels::KernelKind::ForwardPass;
     std::string workloadName, inputName;
     if (!opts.kernel.empty()) {

@@ -1,6 +1,5 @@
 #include "driver/driver.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <map>
@@ -10,6 +9,7 @@
 
 #include "obs/manifest.h"
 #include "support/logging.h"
+#include "support/thread_pool.h"
 
 namespace bp5::driver {
 
@@ -169,26 +169,15 @@ ExperimentDriver::run(const std::vector<GridPoint> &grid) const
         for (size_t i = 0; i < grid.size(); ++i)
             runPoint(state, grid[i], results[i]);
     } else {
-        // Self-scheduling: workers pull the next unclaimed index.
-        // Result placement is by index, so completion order never
-        // matters.
-        std::atomic<size_t> next{0};
-        auto work = [&]() {
-            WorkerState state;
-            for (;;) {
-                size_t i = next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= grid.size())
-                    break;
-                runPoint(state, grid[i], results[i]);
-            }
-        };
-
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned t = 0; t < workers; ++t)
-            pool.emplace_back(work);
-        for (std::thread &t : pool)
-            t.join();
+        // Self-scheduling via the shared pool: workers pull the next
+        // unclaimed index.  Result placement is by index, so
+        // completion order never matters.  Each worker keeps its own
+        // simulation state across the points it claims.
+        support::ThreadPool pool(workers);
+        std::vector<WorkerState> states(pool.threads());
+        pool.parallelFor(grid.size(), [&](unsigned worker, size_t i) {
+            runPoint(states[worker], grid[i], results[i]);
+        });
     }
 
     writeManifest(grid, results,

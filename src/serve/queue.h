@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer job queue with admission
+ * control: producers either try-push (fail fast when the queue is at
+ * capacity — the serving daemon turns that into a reject-with-error
+ * response) or block until space frees (the offline file mode, where
+ * backpressure is the right answer).  close() starts the drain phase:
+ * new pushes fail immediately, consumers keep popping until the queue
+ * is empty and then see end-of-stream, so in-flight work always
+ * completes.
+ */
+
+#ifndef BIOPERF5_SERVE_QUEUE_H
+#define BIOPERF5_SERVE_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace bp5::serve {
+
+/** Bounded MPMC FIFO; all operations are thread-safe. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    size_t capacity() const { return capacity_; }
+
+    /** Admission control: @return false (without blocking) when the
+     *  queue is full or closed. */
+    bool
+    tryPush(T v)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ || q_.size() >= capacity_)
+                return false;
+            q_.push_back(std::move(v));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Blocking push: waits for space; @return false once closed. */
+    bool
+    push(T v)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notFull_.wait(lock, [this] {
+                return closed_ || q_.size() < capacity_;
+            });
+            if (closed_)
+                return false;
+            q_.push_back(std::move(v));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Blocking pop; @return false when closed and fully drained. */
+    bool
+    pop(T &out)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notEmpty_.wait(lock,
+                           [this] { return closed_ || !q_.empty(); });
+            if (q_.empty())
+                return false; // closed and drained
+            out = std::move(q_.front());
+            q_.pop_front();
+        }
+        notFull_.notify_one();
+        return true;
+    }
+
+    /**
+     * Pop up to @p max items in one critical section (a service batch).
+     * Blocks until at least one item is available; @return the number
+     * popped, 0 when closed and fully drained.
+     */
+    size_t
+    popBatch(std::vector<T> &out, size_t max)
+    {
+        size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notEmpty_.wait(lock,
+                           [this] { return closed_ || !q_.empty(); });
+            while (n < max && !q_.empty()) {
+                out.push_back(std::move(q_.front()));
+                q_.pop_front();
+                ++n;
+            }
+        }
+        if (n)
+            notFull_.notify_all();
+        return n;
+    }
+
+    /** Start draining: pushes fail from now on, pops run the queue
+     *  empty and then report end-of-stream. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return q_.size();
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> q_;
+    bool closed_ = false;
+};
+
+} // namespace bp5::serve
+
+#endif // BIOPERF5_SERVE_QUEUE_H

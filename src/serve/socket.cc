@@ -1,0 +1,179 @@
+#include "serve/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace bp5::serve {
+
+namespace {
+
+/** Fill a sockaddr_un for @p path; false when the path is too long. */
+bool
+makeAddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+UnixListener::~UnixListener()
+{
+    close();
+}
+
+bool
+UnixListener::listen(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, addr)) {
+        err = "bad socket path '" + path + "' (empty or too long)";
+        return false;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    ::unlink(path.c_str()); // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        err = "bind " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 64) < 0) {
+        err = "listen " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        ::unlink(path.c_str());
+        return false;
+    }
+    fd_ = fd;
+    path_ = path;
+    return true;
+}
+
+int
+UnixListener::accept()
+{
+    if (fd_ < 0)
+        return -1;
+    for (;;) {
+        int c = ::accept(fd_, nullptr, nullptr);
+        if (c >= 0)
+            return c;
+        if (errno == EINTR)
+            continue;
+        return -1; // shut down or fatal
+    }
+}
+
+void
+UnixListener::close()
+{
+    if (fd_ < 0)
+        return;
+    ::shutdown(fd_, SHUT_RDWR); // unblocks accept()
+    ::close(fd_);
+    fd_ = -1;
+    if (!path_.empty())
+        ::unlink(path_.c_str());
+}
+
+int
+unixConnect(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, addr)) {
+        err = "bad socket path '" + path + "' (empty or too long)";
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        err = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+LineReader::readLine(std::string &out)
+{
+    for (;;) {
+        size_t nl = buf_.find('\n', pos_);
+        if (nl != std::string::npos) {
+            out.assign(buf_, pos_, nl - pos_);
+            pos_ = nl + 1;
+            if (pos_ == buf_.size()) {
+                buf_.clear();
+                pos_ = 0;
+            }
+            return true;
+        }
+        if (eof_) {
+            if (pos_ < buf_.size()) { // unterminated trailer
+                out.assign(buf_, pos_, buf_.size() - pos_);
+                buf_.clear();
+                pos_ = 0;
+                return true;
+            }
+            return false;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            eof_ = true;
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        if (pos_ > 0) {
+            buf_.erase(0, pos_);
+            pos_ = 0;
+        }
+        buf_.append(chunk, size_t(n));
+    }
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace bp5::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal AF_UNIX stream-socket plumbing for the bp5-serve line
+ * protocol: a listener (daemon side), a connector (clients: the load
+ * generator, tests, shell one-liners via socat/nc), a buffered
+ * line reader, and a write-everything helper.  Deliberately tiny —
+ * no event loop, one thread per connection — because the expensive
+ * resource here is simulated machines, not file descriptors.
+ */
+
+#ifndef BIOPERF5_SERVE_SOCKET_H
+#define BIOPERF5_SERVE_SOCKET_H
+
+#include <string>
+
+namespace bp5::serve {
+
+/** Listening Unix-domain stream socket (daemon side). */
+class UnixListener
+{
+  public:
+    UnixListener() = default;
+    ~UnixListener();
+
+    UnixListener(const UnixListener &) = delete;
+    UnixListener &operator=(const UnixListener &) = delete;
+
+    /**
+     * Bind to @p path (an existing stale socket file is unlinked) and
+     * listen.  @return false with a message in @p err on failure.
+     */
+    bool listen(const std::string &path, std::string &err);
+
+    /**
+     * Accept one connection (blocking).  @return the connection fd,
+     * or -1 once the listener was shut down or on a fatal error.
+     */
+    int accept();
+
+    /**
+     * Unblock any accept() in progress and close the socket; safe to
+     * call from another thread or a signal handler (only calls
+     * async-signal-safe shutdown/close).  The socket file is
+     * unlinked.  Idempotent.
+     */
+    void close();
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/**
+ * Connect to the daemon at @p path.  @return the connected fd, or -1
+ * with a message in @p err.
+ */
+int unixConnect(const std::string &path, std::string &err);
+
+/** Buffered newline-delimited reader over a connected fd. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Read the next '\n'-terminated line (terminator stripped).
+     * @return false on EOF or error; a non-empty final line without a
+     * terminator is returned before EOF is reported.
+     */
+    bool readLine(std::string &out);
+
+  private:
+    int fd_;
+    std::string buf_;
+    size_t pos_ = 0;
+    bool eof_ = false;
+};
+
+/** Write all of @p data; @return false on error (EPIPE included). */
+bool writeAll(int fd, const std::string &data);
+
+/** Close @p fd (wrapper so callers stay header-clean). */
+void closeFd(int fd);
+
+} // namespace bp5::serve
+
+#endif // BIOPERF5_SERVE_SOCKET_H

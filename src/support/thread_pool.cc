@@ -1,0 +1,77 @@
+#include "support/thread_pool.h"
+
+namespace bp5::support {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([this, t] { workerMain(t); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::parallelFor(size_t items,
+                        const std::function<void(unsigned, size_t)> &fn)
+{
+    if (items == 0)
+        return;
+    std::lock_guard<std::mutex> caller(callerMu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    fn_ = &fn;
+    items_ = items;
+    next_.store(0, std::memory_order_relaxed);
+    busy_ = unsigned(workers_.size());
+    ++generation_;
+    wake_.notify_all();
+    done_.wait(lock, [this] { return busy_ == 0; });
+    fn_ = nullptr;
+}
+
+void
+ThreadPool::workerMain(unsigned id)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(unsigned, size_t)> *fn = nullptr;
+        size_t items = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            fn = fn_;
+            items = items_;
+        }
+        for (;;) {
+            size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= items)
+                break;
+            (*fn)(id, i);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--busy_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+} // namespace bp5::support

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fixed-size worker pool with self-scheduling parallel-for, extracted
+ * from the ExperimentDriver so the batch-serving daemon can share the
+ * same substrate.  Workers are started once and reused across
+ * parallelFor() calls; each call hands every worker a stable worker id
+ * so callers can keep per-worker state (the driver keeps one
+ * simulation context per worker, the server one shard per worker).
+ *
+ * parallelFor() is a barrier: it returns only after fn(worker, index)
+ * has run for every index in [0, items).  Indices are claimed through
+ * a shared atomic cursor (self-scheduling), so work distribution
+ * adapts to item cost; result placement by index keeps callers
+ * deterministic regardless of which worker claims which item.
+ */
+
+#ifndef BIOPERF5_SUPPORT_THREAD_POOL_H
+#define BIOPERF5_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bp5::support {
+
+/** Reusable fixed-size pool of worker threads. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 picks the hardware concurrency */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins the workers (any running parallelFor completes first). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threads() const { return unsigned(workers_.size()); }
+
+    /**
+     * Run fn(worker, index) for every index in [0, items) on the pool
+     * and block until all calls return.  @p worker is the stable id of
+     * the executing pool thread in [0, threads()).  One parallelFor()
+     * may be in flight at a time (calls from multiple threads are
+     * serialized internally); fn must not call back into the same
+     * pool.
+     */
+    void parallelFor(size_t items,
+                     const std::function<void(unsigned, size_t)> &fn);
+
+  private:
+    void workerMain(unsigned id);
+
+    std::mutex mu_;
+    std::condition_variable wake_;    ///< workers wait for a new job
+    std::condition_variable done_;    ///< parallelFor waits for drain
+    std::mutex callerMu_;             ///< serializes parallelFor calls
+
+    // Current job (valid while busy_ > 0 or generation_ just bumped).
+    const std::function<void(unsigned, size_t)> *fn_ = nullptr;
+    size_t items_ = 0;
+    std::atomic<size_t> next_{0};
+    unsigned busy_ = 0;       ///< workers still inside the current job
+    uint64_t generation_ = 0; ///< bumped once per parallelFor
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace bp5::support
+
+#endif // BIOPERF5_SUPPORT_THREAD_POOL_H

@@ -428,6 +428,30 @@ TEST(Log2Histogram, CountsStatsAndPercentiles)
     EXPECT_EQ(h.percentile(95), 127u); // upper bound of bucket 7
 }
 
+TEST(Log2Histogram, TailPercentiles)
+{
+    // Serving SLOs read p99 off this histogram: the tail bucket must
+    // only be reported once at least 1% of the mass sits at or above
+    // it.
+    support::Log2Histogram h;
+    h.add(100, 990); // bucket 7: [64, 127]
+    h.add(5000, 10); // bucket 13: [4096, 8191]
+    EXPECT_EQ(h.percentile(50), 127u);
+    EXPECT_EQ(h.percentile(95), 127u);
+    EXPECT_EQ(h.percentile(99), 127u);   // rank 990 is still bucket 7
+    EXPECT_EQ(h.percentile(99.5), 8191u); // tail bucket
+    EXPECT_EQ(h.percentile(100), 8191u);
+
+    // Degenerate shapes: one sample, and an all-zero population.
+    support::Log2Histogram one;
+    one.add(42);
+    EXPECT_EQ(one.percentile(0), 63u); // bucket-granular upper bound
+    EXPECT_EQ(one.percentile(99), 63u);
+    support::Log2Histogram zeros;
+    zeros.add(0, 7);
+    EXPECT_EQ(zeros.percentile(99), 0u);
+}
+
 TEST(Log2Histogram, MergeAndText)
 {
     support::Log2Histogram a, b;

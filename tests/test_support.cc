@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "support/bitfield.h"
 #include "support/logging.h"
@@ -15,6 +18,7 @@
 #include "support/saturating_counter.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace bp5 {
 namespace {
@@ -230,6 +234,67 @@ TEST(TextTable, Formatters)
 TEST(Logging, Strprintf)
 {
     EXPECT_EQ(strprintf("x=%d s=%s", 5, "y"), "x=5 s=y");
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    support::ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    constexpr size_t kItems = 1000;
+    std::vector<std::atomic<int>> hits(kItems);
+    pool.parallelFor(kItems, [&](unsigned worker, size_t i) {
+        EXPECT_LT(worker, pool.threads());
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kItems; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusedAcrossCallsAndEmptyJobs)
+{
+    support::ThreadPool pool(3);
+    std::atomic<size_t> total{0};
+    pool.parallelFor(0, [&](unsigned, size_t) { total += 1; });
+    EXPECT_EQ(total.load(), 0u);
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(17, [&](unsigned, size_t) { total += 1; });
+    EXPECT_EQ(total.load(), 50u * 17u);
+}
+
+TEST(ThreadPool, SingleWorkerAndMoreItemsThanThreads)
+{
+    support::ThreadPool pool(1);
+    std::vector<size_t> order;
+    pool.parallelFor(8, [&](unsigned worker, size_t i) {
+        EXPECT_EQ(worker, 0u);
+        order.push_back(i); // single worker: no race, FIFO claim order
+    });
+    ASSERT_EQ(order.size(), 8u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ConcurrentCallersAreSerialized)
+{
+    support::ThreadPool pool(2);
+    std::atomic<size_t> total{0};
+    std::vector<std::thread> callers;
+    for (int c = 0; c < 4; ++c)
+        callers.emplace_back([&] {
+            for (int round = 0; round < 20; ++round)
+                pool.parallelFor(25, [&](unsigned, size_t) {
+                    total.fetch_add(1, std::memory_order_relaxed);
+                });
+        });
+    for (auto &t : callers)
+        t.join();
+    EXPECT_EQ(total.load(), 4u * 20u * 25u);
+}
+
+TEST(ThreadPool, ZeroThreadsPicksHardwareConcurrency)
+{
+    support::ThreadPool pool(0);
+    EXPECT_GE(pool.threads(), 1u);
 }
 
 } // namespace

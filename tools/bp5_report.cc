@@ -9,6 +9,11 @@
  *   bp5-report --json MANIFEST         one JSON Lines record per stack
  *   bp5-report --diff BASE NEW         component-by-component deltas
  *   bp5-report --diff A B --fail-on-diff   exit 1 on any nonzero delta
+ *   bp5-report --latency MANIFEST      latency percentiles (p50/95/99)
+ *
+ * --latency aggregates every row carrying a `lat_us` cell (the
+ * per-job records bp5-serve appends) into a log2 histogram and
+ * reports count, mean and tail percentiles.
  *
  * Diffed runs are matched by identity (tool, workload, variant,
  * input, label) in file order; repeated identities pair up by
@@ -27,6 +32,7 @@
 #include "obs/cpi_stack.h"
 #include "obs/json.h"
 #include "sim/counters.h"
+#include "support/histogram.h"
 #include "support/logging.h"
 #include "support/result.h"
 
@@ -42,6 +48,7 @@ struct Options
     bool diff = false;
     bool json = false;
     bool failOnDiff = false;
+    bool latency = false;
     unsigned barWidth = 40;
 };
 
@@ -50,7 +57,8 @@ usage()
 {
     std::fputs("usage: bp5-report [--json] [--bar-width=N] MANIFEST\n"
                "       bp5-report --diff BASE NEW [--json] "
-               "[--fail-on-diff]\n",
+               "[--fail-on-diff]\n"
+               "       bp5-report --latency [--json] MANIFEST\n",
                stderr);
 }
 
@@ -179,6 +187,71 @@ render(const Options &opts)
     return 0;
 }
 
+/**
+ * Aggregate every manifest row carrying a `lat_us` cell into one log2
+ * histogram and report the tail (serving-SLO view of a manifest).
+ */
+int
+latencyReport(const Options &opts)
+{
+    std::ifstream in(opts.manifest);
+    if (!in) {
+        std::fprintf(stderr, "bp5-report: cannot open %s\n",
+                     opts.manifest.c_str());
+        return 2;
+    }
+    support::Log2Histogram h;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        obs::JsonValue doc;
+        std::string err;
+        if (!obs::parseJson(line, doc, err)) {
+            std::fprintf(stderr, "bp5-report: %s:%zu: %s\n",
+                         opts.manifest.c_str(), lineno, err.c_str());
+            return 2;
+        }
+        const obs::JsonValue *rows = doc.find("rows");
+        if (rows == nullptr || !rows->isArray())
+            continue;
+        for (const obs::JsonValue &row : rows->items) {
+            if (!row.isObject())
+                continue;
+            const obs::JsonValue *lat = row.find("lat_us");
+            if (lat != nullptr && lat->isNumber() && lat->number >= 0)
+                h.add(uint64_t(lat->number));
+        }
+    }
+    if (h.total() == 0) {
+        std::fprintf(stderr, "bp5-report: no lat_us rows in %s\n",
+                     opts.manifest.c_str());
+        return 1;
+    }
+    if (opts.json) {
+        support::ResultRow row;
+        row.set("jobs", h.total())
+            .set("mean_us", h.mean(), 1)
+            .set("min_us", h.min())
+            .set("max_us", h.max())
+            .set("p50_us", h.percentile(50))
+            .set("p95_us", h.percentile(95))
+            .set("p99_us", h.percentile(99));
+        std::fputs(
+            support::emitJsonLine({row}, "latency-report").c_str(),
+            stdout);
+        return 0;
+    }
+    std::printf("latency over %" PRIu64 " job(s): mean %.1f us, "
+                "p50 %" PRIu64 ", p95 %" PRIu64 ", p99 %" PRIu64 " us\n",
+                h.total(), h.mean(), h.percentile(50), h.percentile(95),
+                h.percentile(99));
+    std::fputs(h.toText(opts.barWidth).c_str(), stdout);
+    return 0;
+}
+
 int
 diff(const Options &opts)
 {
@@ -282,6 +355,8 @@ main(int argc, char **argv)
         };
         if (a == "--diff") {
             opts.diff = true;
+        } else if (a == "--latency") {
+            opts.latency = true;
         } else if (a == "--json") {
             opts.json = true;
         } else if (a == "--fail-on-diff") {
@@ -312,5 +387,5 @@ main(int argc, char **argv)
         return 2;
     }
     opts.manifest = positional[0];
-    return render(opts);
+    return opts.latency ? latencyReport(opts) : render(opts);
 }

@@ -589,10 +589,12 @@ main(int argc, char **argv)
                        stdout);
             const support::Log2Histogram &lat = cpiSink.latency();
             std::printf("\nfetch->commit latency (cycles): "
-                        "mean %.1f, p50 <=%llu, p95 <=%llu\n",
+                        "mean %.1f, p50 <=%llu, p95 <=%llu, "
+                        "p99 <=%llu\n",
                         lat.mean(),
                         (unsigned long long)lat.percentile(50),
-                        (unsigned long long)lat.percentile(95));
+                        (unsigned long long)lat.percentile(95),
+                        (unsigned long long)lat.percentile(99));
             std::fputs(lat.toText().c_str(), stdout);
         }
     }

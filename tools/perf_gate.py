@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Simulator-speed regression gate.
+"""Simulator-speed and serving-throughput regression gate.
 
 Compares a fresh ``bench/sim_speed_bench --json`` record against the
 checked-in perf-trajectory baseline (BENCH_simspeed.json) and fails if
@@ -18,8 +18,24 @@ reference timing-interpreter MIPS on at least --min-speedup-apps
 workloads (host-relative, so this only trips when the engine itself
 slows down, not when the CI host does).
 
-Exit status: 0 = all points within bounds, 1 = regression, 2 = usage
-or schema error.
+The batch-serving trajectory is gated the same way from its own
+baseline (BENCH_serve.json, written by ``bench/serve_load --bench
+--json``).  The baseline's ``serve`` section carries absolute SLO
+bounds chosen to hold on any plausible CI host:
+
+    "serve": {"min_jobs_per_s": F, "max_p99_us": C}
+
+and the gate checks a fresh serve_load record against them:
+the open-loop row's throughput must stay >= F, the paced row's p99
+latency must stay <= C, and no row may report failed, rejected, or
+dropped jobs:
+
+    ./build/bench/serve_load --jobs=... --bench --json > serve_new.json
+    python3 tools/perf_gate.py --serve-baseline BENCH_serve.json \\
+        --serve-new serve_new.json
+
+Either pair (or both) may be given.  Exit status: 0 = all points
+within bounds, 1 = regression, 2 = usage or schema error.
 """
 
 import argparse
@@ -68,12 +84,105 @@ def require_row(rows, workload, mode, path):
     return rows[key]
 
 
+SERVE_ROW_KEYS = ("mode", "jobs", "completed", "failed", "rejected",
+                  "jobs_per_s", "p99_us")
+
+
+def load_serve(path):
+    """Return (doc, {mode: row}) from a serve_load --json document.
+
+    Same tolerance policy as load_rows: rows may carry extra columns,
+    only SERVE_ROW_KEYS are validated.  Rows are keyed by mode alone
+    ("open"/"paced") because the serve bench runs one mixed workload.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError(f"{path}: no 'rows' array")
+    out = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise ValueError(f"{path}: row {i} is not an object")
+        missing = [k for k in SERVE_ROW_KEYS if k not in row]
+        if missing:
+            raise ValueError(
+                f"{path}: row {i} is missing key(s) {', '.join(missing)}")
+        if row["mode"] in out:
+            raise ValueError(f"{path}: duplicate mode '{row['mode']}'")
+        out[row["mode"]] = row
+    return doc, out
+
+
+def check_serve(baseline_path, new_path):
+    """Gate a fresh serve_load record against the baseline's SLO bounds.
+
+    Returns a list of failure strings (empty = pass).  Raises
+    ValueError on schema problems (missing serve section or rows),
+    which main() maps to exit 2.
+    """
+    base_doc, base_rows = load_serve(baseline_path)
+    _, new_rows = load_serve(new_path)
+
+    slo = base_doc.get("serve")
+    if not isinstance(slo, dict):
+        raise ValueError(f"{baseline_path}: no 'serve' SLO section")
+    try:
+        floor = float(slo["min_jobs_per_s"])
+        ceiling = float(slo["max_p99_us"])
+    except (KeyError, TypeError, ValueError):
+        raise ValueError(
+            f"{baseline_path}: 'serve' section needs numeric "
+            f"min_jobs_per_s and max_p99_us")
+
+    failures = []
+    print(f"{'mode':<7} {'jobs_per_s':>11} {'p99_us':>9}   bound")
+    for mode in ("open", "paced"):
+        if mode not in new_rows:
+            raise ValueError(
+                f"{new_path}: missing serve row mode='{mode}' "
+                f"(run serve_load with --bench)")
+    for mode, row in sorted(new_rows.items()):
+        base = base_rows.get(mode)
+        ref = (f" (baseline {float(base['jobs_per_s']):.1f}/"
+               f"{float(base['p99_us']):.0f})" if base else "")
+        print(f"{mode:<7} {float(row['jobs_per_s']):>11.1f} "
+              f"{float(row['p99_us']):>9.0f}{ref}")
+        # Integrity applies to every row regardless of mode: a phase
+        # that failed, rejected, or silently dropped jobs is a broken
+        # server, not a slow one.
+        failed = int(row["failed"])
+        rejected = int(row["rejected"])
+        dropped = (int(row["jobs"]) - int(row["completed"]) - failed -
+                   rejected)
+        if failed or rejected or dropped:
+            failures.append(
+                f"serve/{mode}: {failed} failed, {rejected} rejected, "
+                f"{dropped} dropped (all must be 0)")
+    got = float(new_rows["open"]["jobs_per_s"])
+    if got < floor:
+        failures.append(
+            f"serve/open: {got:.1f} jobs/s below SLO floor "
+            f"{floor:.1f}")
+    p99 = float(new_rows["paced"]["p99_us"])
+    if p99 > ceiling:
+        failures.append(
+            f"serve/paced: p99 {p99:.0f} us above SLO ceiling "
+            f"{ceiling:.0f} us")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True,
+    ap.add_argument("--baseline",
                     help="checked-in BENCH_simspeed.json")
-    ap.add_argument("--new", required=True, dest="new_path",
+    ap.add_argument("--new", dest="new_path",
                     help="fresh sim_speed_bench --json output")
+    ap.add_argument("--serve-baseline",
+                    help="checked-in BENCH_serve.json (carries the "
+                         "'serve' SLO section)")
+    ap.add_argument("--serve-new",
+                    help="fresh serve_load --bench --json output")
     ap.add_argument("--max-drop", type=float, default=0.20,
                     help="maximum tolerated fractional sim_mips drop "
                          "per (workload, mode) point (default 0.20)")
@@ -85,6 +194,37 @@ def main():
                          "(default 3)")
     args = ap.parse_args()
 
+    if bool(args.baseline) != bool(args.new_path):
+        print("perf_gate: --baseline and --new must be given together",
+              file=sys.stderr)
+        return 2
+    if bool(args.serve_baseline) != bool(args.serve_new):
+        print("perf_gate: --serve-baseline and --serve-new must be "
+              "given together", file=sys.stderr)
+        return 2
+    if not args.baseline and not args.serve_baseline:
+        print("perf_gate: nothing to gate (give --baseline/--new "
+              "and/or --serve-baseline/--serve-new)", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    if args.serve_baseline:
+        try:
+            failures += check_serve(args.serve_baseline, args.serve_new)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"perf_gate: {e}", file=sys.stderr)
+            return 2
+
+    if not args.baseline:
+        if failures:
+            print("\nperf_gate FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\nperf_gate OK")
+        return 0
+
     try:
         base = load_rows(args.baseline)
         new = load_rows(args.new_path)
@@ -92,7 +232,6 @@ def main():
         print(f"perf_gate: {e}", file=sys.stderr)
         return 2
 
-    failures = []
     print(f"{'workload':<10} {'mode':<11} {'base':>8} {'new':>8} "
           f"{'ratio':>6}")
     for key, brow in sorted(base.items()):

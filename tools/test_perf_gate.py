@@ -45,6 +45,41 @@ def run_gate(baseline_doc, new_doc, *extra):
             capture_output=True, text=True)
 
 
+def serve_row(mode, jobs_per_s, p99_us, jobs=1000, completed=None,
+              failed=0, rejected=0):
+    if completed is None:
+        completed = jobs - failed - rejected
+    return {"workload": "serve_mixed", "mode": mode, "jobs": jobs,
+            "completed": completed, "failed": failed,
+            "rejected": rejected, "jobs_per_s": jobs_per_s,
+            "p99_us": p99_us}
+
+
+def serve_doc(rows, slo=(100.0, 50000.0)):
+    doc = {"title": "serve-load", "rows": rows}
+    if slo is not None:
+        doc["serve"] = {"min_jobs_per_s": slo[0], "max_p99_us": slo[1]}
+    return doc
+
+
+SERVE_BASE = [serve_row("open", 900.0, 2000000.0),
+              serve_row("paced", 450.0, 8000.0)]
+
+
+def run_serve_gate(baseline_doc, new_doc, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        bpath = os.path.join(tmp, "serve_baseline.json")
+        npath = os.path.join(tmp, "serve_new.json")
+        with open(bpath, "w") as f:
+            json.dump(baseline_doc, f)
+        with open(npath, "w") as f:
+            json.dump(new_doc, f)
+        return subprocess.run(
+            [sys.executable, GATE, "--serve-baseline", bpath,
+             "--serve-new", npath, *extra],
+            capture_output=True, text=True)
+
+
 BASE_POINTS = [("clustalw", "functional", 100.0),
                ("clustalw", "timing", 10.0),
                ("hmmer", "functional", 120.0),
@@ -120,6 +155,89 @@ class PerfGateTest(unittest.TestCase):
         r = run_gate(base, rows_doc(BASE_POINTS), "--min-speedup-apps", "2")
         self.assertEqual(r.returncode, 1)
         self.assertIn("speedup contract", r.stderr)
+
+    def test_serve_within_slo_passes(self):
+        r = run_serve_gate(serve_doc(SERVE_BASE), serve_doc(SERVE_BASE))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("perf_gate OK", r.stdout)
+
+    def test_serve_throughput_below_floor_fails(self):
+        new = [serve_row("open", 50.0, 2000000.0),
+               serve_row("paced", 25.0, 8000.0)]
+        r = run_serve_gate(serve_doc(SERVE_BASE), serve_doc(new))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("below SLO floor", r.stderr)
+
+    def test_serve_p99_above_ceiling_fails(self):
+        new = [serve_row("open", 900.0, 2000000.0),
+               serve_row("paced", 450.0, 90000.0)]
+        r = run_serve_gate(serve_doc(SERVE_BASE), serve_doc(new))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("above SLO ceiling", r.stderr)
+
+    def test_serve_dropped_or_failed_jobs_fail(self):
+        new = [serve_row("open", 900.0, 2000000.0, jobs=1000,
+                         completed=990, failed=7),
+               serve_row("paced", 450.0, 8000.0)]
+        r = run_serve_gate(serve_doc(SERVE_BASE), serve_doc(new))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("7 failed", r.stderr)
+        self.assertIn("3 dropped", r.stderr)
+
+    def test_serve_baseline_without_slo_section_is_schema_error(self):
+        r = run_serve_gate(serve_doc(SERVE_BASE, slo=None),
+                           serve_doc(SERVE_BASE))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("no 'serve' SLO section", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_serve_new_missing_paced_row_is_schema_error(self):
+        r = run_serve_gate(serve_doc(SERVE_BASE),
+                           serve_doc([serve_row("open", 900.0,
+                                                2000000.0)]))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("mode='paced'", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_serve_rows_tolerate_extra_columns(self):
+        rows = [dict(r, p50_us=100, mean_us=1.5, future="x")
+                for r in SERVE_BASE]
+        r = run_serve_gate(serve_doc(SERVE_BASE), serve_doc(rows))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_both_pairs_gate_together(self):
+        # A serve regression must fail the run even when the sim-speed
+        # pair passes.
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = {}
+            docs = {"b": rows_doc(BASE_POINTS),
+                    "n": rows_doc(BASE_POINTS),
+                    "sb": serve_doc(SERVE_BASE),
+                    "sn": serve_doc([serve_row("open", 50.0, 2000000.0),
+                                     serve_row("paced", 25.0, 8000.0)])}
+            for k, doc in docs.items():
+                paths[k] = os.path.join(tmp, k + ".json")
+                with open(paths[k], "w") as f:
+                    json.dump(doc, f)
+            r = subprocess.run(
+                [sys.executable, GATE, "--baseline", paths["b"],
+                 "--new", paths["n"], "--serve-baseline", paths["sb"],
+                 "--serve-new", paths["sn"]],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("below SLO floor", r.stderr)
+        self.assertIn("perf_gate FAILED", r.stderr)
+
+    def test_unpaired_serve_flag_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "sb.json")
+            with open(path, "w") as f:
+                json.dump(serve_doc(SERVE_BASE), f)
+            r = subprocess.run(
+                [sys.executable, GATE, "--serve-baseline", path],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("must be given together", r.stderr)
 
     def test_reference_missing_timing_row_is_readable_error(self):
         # The new record has a timing row for a workload the baseline
